@@ -1,0 +1,389 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus microbenchmarks of the substrates. The figure
+// benches run the smoke-scale preset (600 peers, shortened horizons)
+// so `go test -bench=.` finishes in minutes; use cmd/p2psim with
+// -scale default|paper for full-fidelity data.
+package p2pbackup
+
+import (
+	"fmt"
+	"testing"
+
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/costmodel"
+	"p2pbackup/internal/erasure"
+	"p2pbackup/internal/experiments"
+	"p2pbackup/internal/gf256"
+	"p2pbackup/internal/maintenance"
+	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/rng"
+	"p2pbackup/internal/selection"
+	"p2pbackup/internal/sim"
+)
+
+// benchConfig is the smoke preset shortened further for benchmarking.
+func benchConfig(b *testing.B) sim.Config {
+	b.Helper()
+	cfg, err := experiments.BaseConfig(experiments.ScaleSmoke)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Rounds = 6000
+	return cfg
+}
+
+// BenchmarkTableRepairCost regenerates the section 2.2.4 cost table
+// (T2 in DESIGN.md): the 77-minute worst-case repair and its
+// feasibility bounds.
+func BenchmarkTableRepairCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := costmodel.PaperTable()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%-26s total %.1f min, %.1f repairs/day", r.Label, r.Cost.Total().Minutes(), r.RepairsPerDay)
+			}
+		}
+	}
+}
+
+// BenchmarkFig1RepairsByThreshold regenerates figure 1 (and the repair
+// half of the sweep): average repairs per 1000 peer-rounds by repair
+// threshold and age category.
+func BenchmarkFig1RepairsByThreshold(b *testing.B) {
+	cfg := benchConfig(b)
+	thresholds := []int{132, 148, 164, 180} // the sweep's corners
+	for i := 0; i < b.N; i++ {
+		sweep, err := experiments.RunThresholdSweep(cfg, thresholds, 2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range sweep.Points {
+				b.Logf("threshold %d: repairs/1k = %.3g %.3g %.3g %.3g",
+					p.Threshold, p.RepairRate[0], p.RepairRate[1], p.RepairRate[2], p.RepairRate[3])
+			}
+		}
+	}
+}
+
+// BenchmarkFig2LossesByThreshold regenerates figure 2: lost archives
+// per 1000 peer-rounds by threshold and category (same runs as
+// figure 1; benchmarked separately so the loss path is visible in
+// profiles).
+func BenchmarkFig2LossesByThreshold(b *testing.B) {
+	cfg := benchConfig(b)
+	thresholds := []int{132, 156, 180}
+	for i := 0; i < b.N; i++ {
+		sweep, err := experiments.RunThresholdSweep(cfg, thresholds, 2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range sweep.Points {
+				b.Logf("threshold %d: losses/1k = %.4g %.4g %.4g %.4g",
+					p.Threshold, p.LossRate[0], p.LossRate[1], p.LossRate[2], p.LossRate[3])
+			}
+		}
+	}
+}
+
+// BenchmarkFig3ObserverRepairs regenerates figure 3: cumulative repairs
+// of the five fixed-age observers at threshold 148.
+func BenchmarkFig3ObserverRepairs(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		focal, err := experiments.RunFocal(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for j, name := range focal.ObserverNames {
+				b.Logf("observer %-9s cumulative repairs = %d", name, focal.ObserverCounts[j])
+			}
+		}
+	}
+}
+
+// BenchmarkFig4CumulativeLosses regenerates figure 4: cumulative lost
+// archives per peer by age category over the run.
+func BenchmarkFig4CumulativeLosses(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		focal, err := experiments.RunFocal(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+				_, last := focal.LossSeries[c].Last()
+				b.Logf("cumulative losses/peer [%s] = %.3f", c, last)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationStrategies compares the selection strategies (A1).
+func BenchmarkAblationStrategies(b *testing.B) {
+	cfg := benchConfig(b)
+	cfg.Rounds = 4000
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunStrategyAblation(cfg, 2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range res.Points {
+				b.Logf("%-20s repairs=%d losses=%d", p.Label, p.Repairs, p.Losses)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAvailabilityModel compares session churn against
+// per-round Bernoulli churn (A2).
+func BenchmarkAblationAvailabilityModel(b *testing.B) {
+	cfg := benchConfig(b)
+	cfg.Rounds = 4000
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAvailabilityAblation(cfg, 2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range res.Points {
+				b.Logf("%-10s repairs=%d losses=%d", p.Label, p.Repairs, p.Losses)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationRepairDelay sweeps the repair-delay knob (A4, the
+// paper's future-work item).
+func BenchmarkAblationRepairDelay(b *testing.B) {
+	cfg := benchConfig(b)
+	cfg.Rounds = 4000
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRepairDelayAblation(cfg, []int{0, 24}, 2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range res.Points {
+				b.Logf("%-10s repairs=%d losses=%d", p.Label, p.Repairs, p.Losses)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationHorizon sweeps the acceptance horizon L (A3).
+func BenchmarkAblationHorizon(b *testing.B) {
+	cfg := benchConfig(b)
+	cfg.Rounds = 4000
+	horizons := []int64{30 * churn.Day, 90 * churn.Day, 180 * churn.Day}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHorizonAblation(cfg, horizons, 2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range res.Points {
+				b.Logf("%-8s repairs=%d losses=%d", p.Label, p.Repairs, p.Losses)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks
+
+// BenchmarkSimRound measures the engine's per-round cost at smoke scale
+// in steady state.
+func BenchmarkSimRound(b *testing.B) {
+	cfg := benchConfig(b)
+	cfg.Rounds = int64(b.N) + 2000
+	s, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	s.Run()
+}
+
+// BenchmarkRSEncode measures Reed-Solomon encoding throughput at the
+// paper's 128+128 shape with 4 KiB blocks.
+func BenchmarkRSEncode(b *testing.B) {
+	enc, err := erasure.New(128, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	const blockSize = 4096
+	shards := make([][]byte, 256)
+	for i := range shards {
+		shards[i] = make([]byte, blockSize)
+		if i < 128 {
+			for j := range shards[i] {
+				shards[i][j] = byte(r.Uint64())
+			}
+		}
+	}
+	b.SetBytes(128 * blockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRSReconstruct measures worst-case reconstruction (128 of 256
+// shards lost).
+func BenchmarkRSReconstruct(b *testing.B) {
+	enc, err := erasure.New(128, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	const blockSize = 4096
+	orig := make([][]byte, 256)
+	for i := range orig {
+		orig[i] = make([]byte, blockSize)
+		if i < 128 {
+			for j := range orig[i] {
+				orig[i][j] = byte(r.Uint64())
+			}
+		}
+	}
+	if err := enc.Encode(orig); err != nil {
+		b.Fatal(err)
+	}
+	lost := r.Perm(256)[:128]
+	b.SetBytes(128 * blockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		shards := make([][]byte, 256)
+		copy(shards, orig)
+		for _, j := range lost {
+			shards[j] = nil
+		}
+		b.StartTimer()
+		if err := enc.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGF256MulAddSlice measures the GF(2^8) fused multiply-add
+// kernel, the inner loop of all coding.
+func BenchmarkGF256MulAddSlice(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	r := rng.New(3)
+	for i := range src {
+		src[i] = byte(r.Uint64())
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gf256.MulAddSlice(byte(i)|1, src, dst)
+	}
+}
+
+// BenchmarkAcceptanceFunction measures the paper's f(p1, p2).
+func BenchmarkAcceptanceFunction(b *testing.B) {
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		acc += selection.AcceptanceFunction(int64(i%3000), int64((i*7)%3000), 2160)
+	}
+	_ = acc
+}
+
+// BenchmarkMaintainerStep measures one maintenance step for a peer in
+// repair (pool building plus placement).
+func BenchmarkMaintainerStep(b *testing.B) {
+	cfg := benchConfig(b)
+	cfg.Rounds = 500
+	s, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Run()
+	m := s.Maintainer()
+	r := rng.New(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Steps on a healthy peer measure the trigger check; the mix of
+		// peers includes repairing ones.
+		m.Step(r, 0)
+		_ = maintenance.OutcomeNone
+	}
+}
+
+// BenchmarkLedgerSessionFlip measures the cost of one session
+// transition with a realistic reverse-index size.
+func BenchmarkLedgerSessionFlip(b *testing.B) {
+	cfg := benchConfig(b)
+	cfg.Rounds = 500
+	s, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Run()
+	led := s.Ledger()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		led.SetOnline(5, i%2 == 0)
+	}
+}
+
+// BenchmarkChurnSessionSampling measures availability session draws.
+func BenchmarkChurnSessionSampling(b *testing.B) {
+	m := churn.DefaultSessionModel()
+	r := rng.New(4)
+	var acc int64
+	for i := 0; i < b.N; i++ {
+		acc += m.SessionLength(r, 0.75, i%2 == 0)
+	}
+	_ = acc
+}
+
+var sinkRates [metrics.NumCategories]float64
+
+// BenchmarkFullSmokeRun measures one complete smoke-scale focal run
+// end to end (the unit of all figure benches).
+func BenchmarkFullSmokeRun(b *testing.B) {
+	cfg := benchConfig(b)
+	cfg.Rounds = 3000
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := p2prun(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+			sinkRates[c] = res.Collector.RepairRatePer1000(c, true)
+		}
+	}
+}
+
+func p2prun(cfg sim.Config) (*sim.Result, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+func ExampleAcceptanceFunction() {
+	// An elder (90 days) accepting a newborn: the floor 1/L.
+	fmt.Printf("%.6f\n", AcceptanceFunction(90*24, 0, 90*24))
+	// A newborn always accepts an elder.
+	fmt.Printf("%.0f\n", AcceptanceFunction(0, 90*24, 90*24))
+	// Output:
+	// 0.000463
+	// 1
+}

@@ -1,0 +1,46 @@
+// strategy_comparison: the ablation the paper motivates but does not
+// plot - how much does age-based selection actually buy? Compares the
+// paper's rule against random placement, an unimplementable oracle that
+// knows true remaining lifetimes, an availability oracle, and an
+// adversarial youngest-first rule, all on identical populations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"p2pbackup/internal/experiments"
+	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/sim"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	cfg.NumPeers = 600
+	cfg.Rounds = 8000
+
+	fmt.Fprintln(os.Stderr, "running five strategies on identical populations...")
+	res, err := experiments.RunStrategyAblation(cfg, 0, func(msg string) {
+		fmt.Fprintln(os.Stderr, "  "+msg)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %9s %8s %10s %12s %12s\n",
+		"strategy", "repairs", "losses", "uploads", "newcomer/1k", "old/1k")
+	for _, p := range res.Points {
+		fmt.Printf("%-22s %9d %8d %10d %12.3f %12.3f\n",
+			p.Label, p.Repairs, p.Losses, p.Uploaded,
+			p.RepairRate[metrics.Newcomer], p.RepairRate[metrics.Old])
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - the age rule does not minimise TOTAL cost: it concentrates")
+	fmt.Println("    cost on newcomers (high newcomer rate) while veterans ride")
+	fmt.Println("    almost free - the paper's tit-for-tat reward for loyalty;")
+	fmt.Println("  - random spreads cost evenly: newcomers are cheap but nobody")
+	fmt.Println("    earns cheap maintenance by staying;")
+	fmt.Println("  - the oracles bound what any lifetime estimate could achieve.")
+}

@@ -1,0 +1,140 @@
+package backup
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// Archive confidentiality (paper section 2.2.1): each archive is
+// encrypted under a fresh symmetric session key before encoding;
+// session keys are wrapped under the owner's public key inside the
+// master block, so possession of the private key is necessary and
+// sufficient to restore.
+//
+// The construction is AES-256-CTR with an HMAC-SHA256 tag
+// (encrypt-then-MAC); the session key is split into independent
+// encryption and MAC subkeys.
+
+// SessionKeySize is the session key length in bytes.
+const SessionKeySize = 32
+
+const (
+	ivSize  = aes.BlockSize
+	tagSize = sha256.Size
+)
+
+// Sealed-layout: iv || ciphertext || tag.
+const sealOverhead = ivSize + tagSize
+
+// ErrDecrypt reports an authentication failure (wrong key or tampered
+// ciphertext).
+var ErrDecrypt = errors.New("backup: decryption failed (wrong key or corrupted data)")
+
+// NewSessionKey draws a fresh random session key.
+func NewSessionKey() ([]byte, error) {
+	key := make([]byte, SessionKeySize)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("backup: session key: %w", err)
+	}
+	return key, nil
+}
+
+func subKeys(key []byte) (encKey, macKey []byte) {
+	he := hmac.New(sha256.New, key)
+	he.Write([]byte("enc"))
+	hm := hmac.New(sha256.New, key)
+	hm.Write([]byte("mac"))
+	return he.Sum(nil), hm.Sum(nil)
+}
+
+// Seal encrypts-and-authenticates plaintext under the session key.
+func Seal(key, plaintext []byte) ([]byte, error) {
+	if len(key) != SessionKeySize {
+		return nil, fmt.Errorf("backup: session key must be %d bytes, got %d", SessionKeySize, len(key))
+	}
+	encKey, macKey := subKeys(key)
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, ivSize+len(plaintext)+tagSize)
+	iv := out[:ivSize]
+	if _, err := rand.Read(iv); err != nil {
+		return nil, err
+	}
+	cipher.NewCTR(block, iv).XORKeyStream(out[ivSize:ivSize+len(plaintext)], plaintext)
+	mac := hmac.New(sha256.New, macKey)
+	mac.Write(out[:ivSize+len(plaintext)])
+	copy(out[ivSize+len(plaintext):], mac.Sum(nil))
+	return out, nil
+}
+
+// Open verifies and decrypts a Seal output.
+func Open(key, sealed []byte) ([]byte, error) {
+	if len(key) != SessionKeySize {
+		return nil, fmt.Errorf("backup: session key must be %d bytes, got %d", SessionKeySize, len(key))
+	}
+	if len(sealed) < sealOverhead {
+		return nil, ErrDecrypt
+	}
+	encKey, macKey := subKeys(key)
+	body := sealed[:len(sealed)-tagSize]
+	tag := sealed[len(sealed)-tagSize:]
+	mac := hmac.New(sha256.New, macKey)
+	mac.Write(body)
+	if !hmac.Equal(tag, mac.Sum(nil)) {
+		return nil, ErrDecrypt
+	}
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, err
+	}
+	plaintext := make([]byte, len(body)-ivSize)
+	cipher.NewCTR(block, body[:ivSize]).XORKeyStream(plaintext, body[ivSize:])
+	return plaintext, nil
+}
+
+// Identity is an owner key pair. The public key wraps session keys in
+// the master block; the private key is the single secret a user needs
+// to restore everything.
+type Identity struct {
+	Private *rsa.PrivateKey
+}
+
+// NewIdentity generates a fresh RSA key pair (2048 bits: comfortably
+// beyond the paper's 2009 setting).
+func NewIdentity() (*Identity, error) {
+	key, err := rsa.GenerateKey(rand.Reader, 2048)
+	if err != nil {
+		return nil, fmt.Errorf("backup: identity: %w", err)
+	}
+	return &Identity{Private: key}, nil
+}
+
+// Public returns the wrapping key.
+func (id *Identity) Public() *rsa.PublicKey { return &id.Private.PublicKey }
+
+// WrapKey encrypts a session key under the owner's public key
+// (RSA-OAEP/SHA-256).
+func WrapKey(pub *rsa.PublicKey, sessionKey []byte) ([]byte, error) {
+	out, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, pub, sessionKey, []byte("p2pbackup session key"))
+	if err != nil {
+		return nil, fmt.Errorf("backup: wrap key: %w", err)
+	}
+	return out, nil
+}
+
+// UnwrapKey recovers a session key with the private key.
+func UnwrapKey(id *Identity, wrapped []byte) ([]byte, error) {
+	key, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, id.Private, wrapped, []byte("p2pbackup session key"))
+	if err != nil {
+		return nil, fmt.Errorf("backup: unwrap key: %w", err)
+	}
+	return key, nil
+}

@@ -1,0 +1,239 @@
+package backup
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"p2pbackup/internal/erasure"
+	"p2pbackup/internal/storage"
+)
+
+// Params fixes the archive coding shape.
+type Params struct {
+	// DataBlocks is k, ParityBlocks is m. The paper uses 128/128.
+	DataBlocks   int
+	ParityBlocks int
+}
+
+// DefaultParams returns the paper's 128+128 shape.
+func DefaultParams() Params { return Params{DataBlocks: 128, ParityBlocks: 128} }
+
+// Validate checks the shape.
+func (p Params) Validate() error {
+	if p.DataBlocks < 1 || p.ParityBlocks < 1 || p.DataBlocks+p.ParityBlocks > 256 {
+		return fmt.Errorf("backup: invalid params k=%d m=%d", p.DataBlocks, p.ParityBlocks)
+	}
+	return nil
+}
+
+// Total returns n.
+func (p Params) Total() int { return p.DataBlocks + p.ParityBlocks }
+
+// ArchiveID identifies an archive by the SHA-256 of its sealed bytes.
+type ArchiveID [sha256.Size]byte
+
+// String renders the id.
+func (a ArchiveID) String() string { return fmt.Sprintf("%x", a[:8]) }
+
+// Manifest describes one encoded archive: what to fetch and how to
+// verify and decode it. Manifests are metadata (the paper stores them
+// with extra redundancy); they contain no secrets beyond file shape.
+type Manifest struct {
+	ID          ArchiveID         `json:"id"`
+	SealedSize  int               `json:"sealed_size"`
+	Params      Params            `json:"params"`
+	BlockIDs    []storage.BlockID `json:"block_ids"` // index -> content hash
+	WrappedKey  []byte            `json:"wrapped_key"`
+	Description string            `json:"description,omitempty"`
+}
+
+// EncodeArchive runs the paper's backup pipeline on plaintext archive
+// bytes: seal under a fresh session key, split into k shards, add m
+// parity shards, hash every block. It returns the n blocks (index ->
+// content) and the manifest.
+func EncodeArchive(params Params, owner *Identity, plaintext []byte, description string) ([][]byte, *Manifest, error) {
+	if err := params.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(plaintext) == 0 {
+		return nil, nil, ErrEmptyArchive
+	}
+	key, err := NewSessionKey()
+	if err != nil {
+		return nil, nil, err
+	}
+	sealed, err := Seal(key, plaintext)
+	if err != nil {
+		return nil, nil, err
+	}
+	enc, err := erasure.New(params.DataBlocks, params.ParityBlocks)
+	if err != nil {
+		return nil, nil, err
+	}
+	shards, err := enc.Split(sealed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := enc.Encode(shards); err != nil {
+		return nil, nil, err
+	}
+	wrapped, err := WrapKey(owner.Public(), key)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := &Manifest{
+		ID:          sha256.Sum256(sealed),
+		SealedSize:  len(sealed),
+		Params:      params,
+		BlockIDs:    make([]storage.BlockID, len(shards)),
+		WrappedKey:  wrapped,
+		Description: description,
+	}
+	for i, s := range shards {
+		m.BlockIDs[i] = storage.IDOf(s)
+	}
+	return shards, m, nil
+}
+
+// Restore errors.
+var (
+	ErrTooFewBlocks = errors.New("backup: not enough blocks to restore")
+	ErrBlockHash    = errors.New("backup: block content does not match manifest")
+	ErrManifest     = errors.New("backup: invalid manifest")
+)
+
+// DecodeArchive reverses EncodeArchive: blocks[i] must be the archive's
+// i-th block or nil if unavailable; any k present blocks suffice. The
+// owner's identity unwraps the session key.
+func DecodeArchive(m *Manifest, owner *Identity, blocks [][]byte) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(blocks) != m.Params.Total() {
+		return nil, fmt.Errorf("%w: got %d block slots, want %d", ErrManifest, len(blocks), m.Params.Total())
+	}
+	present := 0
+	for i, b := range blocks {
+		if len(b) == 0 {
+			blocks[i] = nil
+			continue
+		}
+		if storage.IDOf(b) != m.BlockIDs[i] {
+			return nil, fmt.Errorf("%w: block %d", ErrBlockHash, i)
+		}
+		present++
+	}
+	if present < m.Params.DataBlocks {
+		return nil, fmt.Errorf("%w: %d of %d, need %d", ErrTooFewBlocks, present, m.Params.Total(), m.Params.DataBlocks)
+	}
+	enc, err := erasure.New(m.Params.DataBlocks, m.Params.ParityBlocks)
+	if err != nil {
+		return nil, err
+	}
+	if err := enc.ReconstructData(blocks); err != nil {
+		return nil, err
+	}
+	var sealedBuf []byte
+	{
+		// Join drops the padding using the recorded sealed size.
+		w := &fixedWriter{buf: make([]byte, 0, m.SealedSize)}
+		if err := enc.Join(w, blocks, m.SealedSize); err != nil {
+			return nil, err
+		}
+		sealedBuf = w.buf
+	}
+	if sha256.Sum256(sealedBuf) != m.ID {
+		return nil, fmt.Errorf("%w: archive hash mismatch", ErrManifest)
+	}
+	key, err := UnwrapKey(owner, m.WrappedKey)
+	if err != nil {
+		return nil, err
+	}
+	return Open(key, sealedBuf)
+}
+
+type fixedWriter struct{ buf []byte }
+
+func (w *fixedWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// Validate sanity-checks a manifest.
+func (m *Manifest) Validate() error {
+	if err := m.Params.Validate(); err != nil {
+		return err
+	}
+	if m.SealedSize <= 0 {
+		return fmt.Errorf("%w: sealed size %d", ErrManifest, m.SealedSize)
+	}
+	if len(m.BlockIDs) != m.Params.Total() {
+		return fmt.Errorf("%w: %d block ids for n=%d", ErrManifest, len(m.BlockIDs), m.Params.Total())
+	}
+	if len(m.WrappedKey) == 0 {
+		return fmt.Errorf("%w: missing wrapped key", ErrManifest)
+	}
+	return nil
+}
+
+// Marshal serialises the manifest.
+func (m *Manifest) Marshal() ([]byte, error) { return json.Marshal(m) }
+
+// UnmarshalManifest parses a manifest and validates it.
+func UnmarshalManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrManifest, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// MasterBlock is the restore entry point (paper section 2.2.1): the
+// list of archives with their manifests and partner hints. It is the
+// only thing besides the private key a user must retrieve to begin a
+// restore.
+type MasterBlock struct {
+	Version int `json:"version"`
+	// Seq increases on every publication; readers holding several
+	// replicas keep the highest.
+	Seq       int64       `json:"seq"`
+	Manifests []*Manifest `json:"manifests"`
+	// Partners maps archive index -> the peer names/addresses believed
+	// to hold its blocks (a hint; restore falls back to flooding).
+	Partners map[int][]string `json:"partners,omitempty"`
+}
+
+// MarshalMasterBlock serialises a master block.
+func MarshalMasterBlock(mb *MasterBlock) ([]byte, error) {
+	if mb.Version == 0 {
+		mb.Version = 1
+	}
+	for _, m := range mb.Manifests {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return json.Marshal(mb)
+}
+
+// UnmarshalMasterBlock parses and validates a master block.
+func UnmarshalMasterBlock(data []byte) (*MasterBlock, error) {
+	var mb MasterBlock
+	if err := json.Unmarshal(data, &mb); err != nil {
+		return nil, fmt.Errorf("%w: master block: %v", ErrManifest, err)
+	}
+	if mb.Version != 1 {
+		return nil, fmt.Errorf("%w: unsupported master block version %d", ErrManifest, mb.Version)
+	}
+	for _, m := range mb.Manifests {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &mb, nil
+}

@@ -1,0 +1,162 @@
+package churn
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EventKind enumerates churn trace events.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	EvJoin    EventKind = iota // peer enters the system
+	EvLeave                    // peer departs definitively
+	EvOnline                   // peer session starts
+	EvOffline                  // peer session ends
+)
+
+var kindNames = [...]string{"join", "leave", "online", "offline"}
+
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// ParseEventKind parses the textual kind.
+func ParseEventKind(s string) (EventKind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return EventKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("churn: unknown event kind %q", s)
+}
+
+// Event is one churn event for one peer.
+type Event struct {
+	Round int64
+	Peer  int32
+	Kind  EventKind
+}
+
+// Trace is an ordered log of churn events, recordable from a simulation
+// run and replayable into another.
+type Trace struct {
+	Events []Event
+}
+
+// Append adds an event.
+func (t *Trace) Append(round int64, peer int32, kind EventKind) {
+	t.Events = append(t.Events, Event{Round: round, Peer: peer, Kind: kind})
+}
+
+// kindSortPriority orders same-round events of one peer slot so that a
+// departure precedes the replacement's join (slots are reused in the
+// same round); otherwise Lifetimes would pair the new join with the old
+// leave and report zero-length lives.
+var kindSortPriority = [...]int{EvJoin: 1, EvLeave: 0, EvOnline: 2, EvOffline: 2}
+
+// Sort orders events by round, then peer, then kind (leave before
+// join), making traces comparable across runs.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Events, func(i, j int) bool {
+		a, b := t.Events[i], t.Events[j]
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		if a.Peer != b.Peer {
+			return a.Peer < b.Peer
+		}
+		return kindSortPriority[a.Kind] < kindSortPriority[b.Kind]
+	})
+}
+
+// Lifetimes extracts completed lifetimes (leave round - join round) per
+// peer, the input to lifetime-model fitting. Peers that never leave are
+// excluded.
+func (t *Trace) Lifetimes() []float64 {
+	joins := make(map[int32]int64)
+	var out []float64
+	for _, e := range t.Events {
+		switch e.Kind {
+		case EvJoin:
+			joins[e.Peer] = e.Round
+		case EvLeave:
+			if j, ok := joins[e.Peer]; ok {
+				if d := e.Round - j; d > 0 {
+					out = append(out, float64(d))
+				}
+				delete(joins, e.Peer)
+			}
+		}
+	}
+	return out
+}
+
+// WriteCSV emits the trace as "round,peer,kind" lines with a header.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "round,peer,kind"); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%s\n", e.Round, e.Peer, e.Kind); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	t := &Trace{}
+	first := true
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if first {
+			first = false
+			if text == "round,peer,kind" {
+				continue
+			}
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("churn: line %d: want 3 fields, got %d", line, len(parts))
+		}
+		round, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("churn: line %d: bad round: %w", line, err)
+		}
+		peer, err := strconv.ParseInt(parts[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("churn: line %d: bad peer: %w", line, err)
+		}
+		kind, err := ParseEventKind(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("churn: line %d: %w", line, err)
+		}
+		t.Append(round, int32(peer), kind)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if first {
+		return nil, errors.New("churn: empty trace file")
+	}
+	return t, nil
+}

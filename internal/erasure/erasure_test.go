@@ -1,0 +1,403 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allKinds(t *testing.T, f func(t *testing.T, kind MatrixKind)) {
+	t.Helper()
+	for _, kind := range []MatrixKind{Vandermonde, Cauchy} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) { f(t, kind) })
+	}
+}
+
+func randomShards(rng *rand.Rand, k, m, size int) [][]byte {
+	shards := make([][]byte, k+m)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+	}
+	for i := 0; i < k; i++ {
+		rng.Read(shards[i])
+	}
+	return shards
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct{ k, m int }{{0, 1}, {-1, 2}, {3, -1}, {200, 57}, {257, 0}}
+	for _, c := range cases {
+		if _, err := New(c.k, c.m); !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("New(%d, %d) err = %v, want ErrInvalidParams", c.k, c.m, err)
+		}
+	}
+	for _, c := range []struct{ k, m int }{{1, 0}, {1, 255}, {128, 128}, {255, 1}, {256, 0}} {
+		if _, err := New(c.k, c.m); err != nil {
+			t.Errorf("New(%d, %d) unexpected err %v", c.k, c.m, err)
+		}
+	}
+}
+
+func TestSystematicEncoding(t *testing.T) {
+	allKinds(t, func(t *testing.T, kind MatrixKind) {
+		e, err := NewKind(4, 2, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		shards := randomShards(rng, 4, 2, 64)
+		want := make([][]byte, 4)
+		for i := range want {
+			want[i] = append([]byte(nil), shards[i]...)
+		}
+		if err := e.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		// Systematic: data shards unchanged by encoding.
+		for i := 0; i < 4; i++ {
+			if !bytes.Equal(shards[i], want[i]) {
+				t.Fatalf("%v: data shard %d modified by Encode", kind, i)
+			}
+		}
+	})
+}
+
+func TestEncodeVerify(t *testing.T) {
+	allKinds(t, func(t *testing.T, kind MatrixKind) {
+		e, _ := NewKind(6, 3, kind)
+		rng := rand.New(rand.NewSource(2))
+		shards := randomShards(rng, 6, 3, 128)
+		if err := e.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := e.Verify(shards)
+		if err != nil || !ok {
+			t.Fatalf("Verify = %v, %v; want true, nil", ok, err)
+		}
+		// Corrupt one byte of one parity shard.
+		shards[7][13] ^= 0x40
+		ok, err = e.Verify(shards)
+		if err != nil || ok {
+			t.Fatalf("Verify after corruption = %v, %v; want false, nil", ok, err)
+		}
+		shards[7][13] ^= 0x40
+		// Corrupt a data byte.
+		shards[2][0] ^= 1
+		ok, _ = e.Verify(shards)
+		if ok {
+			t.Fatal("Verify must detect corrupted data shard")
+		}
+	})
+}
+
+func TestReconstructAllErasurePatterns(t *testing.T) {
+	// For a small code, exhaustively erase every subset of size <= m and
+	// verify exact reconstruction.
+	allKinds(t, func(t *testing.T, kind MatrixKind) {
+		const k, m, size = 4, 3, 32
+		e, _ := NewKind(k, m, kind)
+		rng := rand.New(rand.NewSource(3))
+		orig := randomShards(rng, k, m, size)
+		if err := e.Encode(orig); err != nil {
+			t.Fatal(err)
+		}
+		n := k + m
+		for mask := 0; mask < 1<<n; mask++ {
+			erased := 0
+			for i := 0; i < n; i++ {
+				if mask>>i&1 == 1 {
+					erased++
+				}
+			}
+			if erased == 0 || erased > m {
+				continue
+			}
+			shards := make([][]byte, n)
+			for i := range shards {
+				if mask>>i&1 == 1 {
+					shards[i] = nil
+				} else {
+					shards[i] = append([]byte(nil), orig[i]...)
+				}
+			}
+			if err := e.Reconstruct(shards); err != nil {
+				t.Fatalf("%v mask %#b: %v", kind, mask, err)
+			}
+			for i := range shards {
+				if !bytes.Equal(shards[i], orig[i]) {
+					t.Fatalf("%v mask %#b: shard %d wrong after reconstruct", kind, mask, i)
+				}
+			}
+		}
+	})
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	e, _ := New(4, 2)
+	rng := rand.New(rand.NewSource(4))
+	shards := randomShards(rng, 4, 2, 16)
+	if err := e.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[1], shards[2] = nil, nil, nil
+	if err := e.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestReconstructData(t *testing.T) {
+	e, _ := New(5, 3)
+	rng := rand.New(rand.NewSource(5))
+	orig := randomShards(rng, 5, 3, 48)
+	if err := e.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, len(orig))
+	for i := range shards {
+		shards[i] = append([]byte(nil), orig[i]...)
+	}
+	shards[1] = nil // data
+	shards[6] = nil // parity
+	if err := e.ReconstructData(shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shards[1], orig[1]) {
+		t.Fatal("data shard not reconstructed")
+	}
+	if shards[6] != nil {
+		t.Fatal("ReconstructData must not recompute parity")
+	}
+	// Full Reconstruct now restores parity too.
+	if err := e.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shards[6], orig[6]) {
+		t.Fatal("parity shard not reconstructed")
+	}
+}
+
+func TestReconstructNoOpWhenComplete(t *testing.T) {
+	e, _ := New(3, 2)
+	rng := rand.New(rand.NewSource(6))
+	shards := randomShards(rng, 3, 2, 8)
+	if err := e.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	before := make([][]byte, len(shards))
+	for i := range shards {
+		before[i] = append([]byte(nil), shards[i]...)
+	}
+	if err := e.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], before[i]) {
+			t.Fatal("Reconstruct modified a complete shard set")
+		}
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	e, _ := New(3, 2)
+	if err := e.Encode(make([][]byte, 4)); !errors.Is(err, ErrShardCount) {
+		t.Errorf("wrong count: err = %v, want ErrShardCount", err)
+	}
+	shards := [][]byte{make([]byte, 4), make([]byte, 4), make([]byte, 5), make([]byte, 4), make([]byte, 4)}
+	if err := e.Encode(shards); !errors.Is(err, ErrShardSize) {
+		t.Errorf("uneven sizes: err = %v, want ErrShardSize", err)
+	}
+	all := make([][]byte, 5)
+	if err := e.Reconstruct(all); !errors.Is(err, ErrShardSize) {
+		t.Errorf("all missing: err = %v, want ErrShardSize", err)
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	e, _ := New(4, 2)
+	rng := rand.New(rand.NewSource(7))
+	for _, size := range []int{1, 3, 4, 5, 16, 17, 1000} {
+		data := make([]byte, size)
+		rng.Read(data)
+		shards, err := e.Split(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shards) != 6 {
+			t.Fatalf("Split returned %d shards, want 6", len(shards))
+		}
+		if err := e.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.Join(&buf, shards, size); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("size %d: Join != original", size)
+		}
+	}
+}
+
+func TestSplitEmpty(t *testing.T) {
+	e, _ := New(4, 2)
+	if _, err := e.Split(nil); !errors.Is(err, ErrShortData) {
+		t.Fatalf("err = %v, want ErrShortData", err)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	e, _ := New(3, 1)
+	data := []byte("hello world!")
+	shards, _ := e.Split(data)
+	if err := e.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Join(&buf, shards[:2], len(data)); !errors.Is(err, ErrShardCount) {
+		t.Errorf("short shard list: err = %v, want ErrShardCount", err)
+	}
+	if err := e.Join(&buf, shards, len(data)*100); !errors.Is(err, ErrShortData) {
+		t.Errorf("oversized length: err = %v, want ErrShortData", err)
+	}
+	shards[1] = nil
+	if err := e.Join(&buf, shards, len(data)); err == nil {
+		t.Error("Join with missing data shard must fail")
+	}
+}
+
+func TestPaperParameters(t *testing.T) {
+	// The paper's configuration: k = m = 128, n = 256 blocks.
+	e, err := New(128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	shards := randomShards(rng, 128, 128, 256)
+	if err := e.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	orig := make([][]byte, len(shards))
+	for i := range shards {
+		orig[i] = append([]byte(nil), shards[i]...)
+	}
+	// Erase 128 random shards - the paper's worst tolerated case.
+	for _, i := range rng.Perm(256)[:128] {
+		shards[i] = nil
+	}
+	if err := e.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], orig[i]) {
+			t.Fatalf("shard %d wrong after 128-erasure reconstruct", i)
+		}
+	}
+}
+
+func TestReconstructRandomErasuresProperty(t *testing.T) {
+	e, _ := New(8, 5)
+	prop := func(seed int64, sizeHint uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 1 + int(sizeHint)%100
+		orig := randomShards(rng, 8, 5, size)
+		if err := e.Encode(orig); err != nil {
+			return false
+		}
+		shards := make([][]byte, len(orig))
+		for i := range shards {
+			shards[i] = append([]byte(nil), orig[i]...)
+		}
+		erase := rng.Intn(6) // 0..5 erasures, all within tolerance
+		for _, i := range rng.Perm(13)[:erase] {
+			shards[i] = nil
+		}
+		if err := e.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeMatrixCacheConcurrency(t *testing.T) {
+	e, _ := New(10, 4)
+	rng := rand.New(rand.NewSource(9))
+	orig := randomShards(rng, 10, 4, 64)
+	if err := e.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(seed int64) {
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				shards := make([][]byte, len(orig))
+				for j := range shards {
+					shards[j] = append([]byte(nil), orig[j]...)
+				}
+				for _, j := range r.Perm(14)[:4] {
+					shards[j] = nil
+				}
+				if err := e.Reconstruct(shards); err != nil {
+					done <- err
+					return
+				}
+				for j := range shards {
+					if !bytes.Equal(shards[j], orig[j]) {
+						done <- errors.New("bad reconstruction under concurrency")
+						return
+					}
+				}
+			}
+			done <- nil
+		}(int64(g))
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestZeroParity(t *testing.T) {
+	// m = 0 is a degenerate but legal configuration (no redundancy).
+	e, err := New(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	shards := randomShards(rng, 4, 0, 16)
+	if err := e.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := e.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("Verify = %v, %v", ok, err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	e, _ := NewKind(12, 7, Cauchy)
+	if e.DataShards() != 12 || e.ParityShards() != 7 || e.TotalShards() != 19 {
+		t.Fatal("accessor mismatch")
+	}
+	if e.Kind() != Cauchy {
+		t.Fatal("Kind mismatch")
+	}
+	if Vandermonde.String() != "vandermonde" || Cauchy.String() != "cauchy" {
+		t.Fatal("MatrixKind.String mismatch")
+	}
+	if MatrixKind(9).String() == "" {
+		t.Fatal("unknown kind must still format")
+	}
+}

@@ -1,0 +1,442 @@
+// Package experiments defines the runnable experiments that regenerate
+// every table and figure of the paper's evaluation, plus the ablations
+// called out in DESIGN.md. Each experiment takes a scale preset (the
+// paper's full size is expensive), runs the required simulations -
+// sweep points in parallel, each with a deterministic derived seed -
+// and returns plot-ready data with TSV emitters.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/selection"
+	"p2pbackup/internal/sim"
+	"p2pbackup/internal/stats"
+)
+
+// Scale selects a simulation size preset.
+type Scale string
+
+// Scale presets. All keep the paper's intensive parameters (n, k,
+// quota, thresholds, profile mix) and shrink the population and/or
+// duration; EXPERIMENTS.md records which preset produced which numbers.
+const (
+	// ScaleSmoke: 600 peers, 20,000 rounds (~2.3 years): minutes for a
+	// full sweep on a laptop; elders exist.
+	ScaleSmoke Scale = "smoke"
+	// ScaleDefault: 2,500 peers, full 50,000 rounds: the shape of every
+	// figure at a tenth of the population.
+	ScaleDefault Scale = "default"
+	// ScalePaper: the paper's 25,000 peers x 50,000 rounds.
+	ScalePaper Scale = "paper"
+)
+
+// BaseConfig returns the paper configuration adjusted to the scale.
+func BaseConfig(scale Scale) (sim.Config, error) {
+	cfg := sim.DefaultConfig()
+	switch scale {
+	case ScaleSmoke:
+		cfg.NumPeers = 600
+		cfg.Rounds = 20000
+	case ScaleDefault, "":
+		cfg.NumPeers = 2500
+		cfg.Rounds = 50000
+	case ScalePaper:
+		// as-is
+	default:
+		return cfg, fmt.Errorf("experiments: unknown scale %q", scale)
+	}
+	return cfg, nil
+}
+
+// Scales lists the preset names.
+func Scales() []string { return []string{string(ScaleSmoke), string(ScaleDefault), string(ScalePaper)} }
+
+// PaperThresholds returns the sweep of figure 1/2: 132 to 180 in steps
+// of 4.
+func PaperThresholds() []int {
+	var ts []int
+	for t := 132; t <= 180; t += 4 {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// runParallel executes jobs with bounded parallelism, preserving order.
+func runParallel[T any](n int, parallelism int, job func(i int) (T, error)) ([]T, error) {
+	if parallelism < 1 {
+		parallelism = runtime.NumCPU()
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 1 and 2: threshold sweep
+
+// ThresholdPoint is one sweep point: per-category repair and loss rates
+// at a repair threshold.
+type ThresholdPoint struct {
+	Threshold  int
+	RepairRate [metrics.NumCategories]float64 // per 1000 peer-rounds
+	LossRate   [metrics.NumCategories]float64 // per 1000 peer-rounds
+	Repairs    int64
+	Losses     int64
+	Deaths     int64
+}
+
+// ThresholdSweep holds figure 1 (repair rates) and figure 2 (loss
+// rates); the paper derives both from the same runs.
+type ThresholdSweep struct {
+	Scale  Scale
+	Points []ThresholdPoint
+}
+
+// RunThresholdSweep executes one simulation per threshold. Seeds are
+// derived from cfg.Seed and the threshold so points are independently
+// reproducible. progress (optional) receives one message per finished
+// point.
+func RunThresholdSweep(cfg sim.Config, thresholds []int, parallelism int, progress func(string)) (*ThresholdSweep, error) {
+	if len(thresholds) == 0 {
+		return nil, fmt.Errorf("experiments: empty threshold list")
+	}
+	points, err := runParallel(len(thresholds), parallelism, func(i int) (ThresholdPoint, error) {
+		c := cfg
+		c.RepairThreshold = thresholds[i]
+		c.Seed = cfg.Seed*1000003 + uint64(thresholds[i])
+		s, err := sim.New(c)
+		if err != nil {
+			return ThresholdPoint{}, fmt.Errorf("threshold %d: %w", thresholds[i], err)
+		}
+		res := s.Run()
+		p := ThresholdPoint{
+			Threshold: thresholds[i],
+			Repairs:   res.Collector.TotalRepairs(),
+			Losses:    res.Collector.TotalLosses(),
+			Deaths:    res.Deaths,
+		}
+		for cat := metrics.Category(0); cat < metrics.NumCategories; cat++ {
+			p.RepairRate[cat] = res.Collector.RepairRatePer1000(cat, c.CountInitialAsRepair)
+			p.LossRate[cat] = res.Collector.LossRatePer1000(cat)
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("threshold %d done: %d repairs, %d losses", thresholds[i], p.Repairs, p.Losses))
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Threshold < points[j].Threshold })
+	return &ThresholdSweep{Points: points}, nil
+}
+
+// WriteRepairTSV emits figure 1: threshold vs repair rate per category.
+func (s *ThresholdSweep) WriteRepairTSV(w io.Writer) error {
+	return s.writeTSV(w, "repairs_per_1000_peer_rounds", func(p ThresholdPoint, c metrics.Category) float64 {
+		return p.RepairRate[c]
+	})
+}
+
+// WriteLossTSV emits figure 2: threshold vs loss rate per category.
+func (s *ThresholdSweep) WriteLossTSV(w io.Writer) error {
+	return s.writeTSV(w, "losses_per_1000_peer_rounds", func(p ThresholdPoint, c metrics.Category) float64 {
+		return p.LossRate[c]
+	})
+}
+
+func (s *ThresholdSweep) writeTSV(w io.Writer, what string, get func(ThresholdPoint, metrics.Category) float64) error {
+	if _, err := fmt.Fprintf(w, "# %s by repair threshold\n#threshold", what); err != nil {
+		return err
+	}
+	for _, n := range metrics.CategoryNames() {
+		if _, err := fmt.Fprintf(w, "\t%s", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%d", p.Threshold); err != nil {
+			return err
+		}
+		for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+			if _, err := fmt.Fprintf(w, "\t%.6g", get(p, c)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 3 and 4: focal run at threshold 148
+
+// FocalResult carries the observer series (figure 3) and the
+// per-category cumulative loss series (figure 4) from the paper's focal
+// configuration (threshold 148, five observers).
+type FocalResult struct {
+	Scale          Scale
+	ObserverNames  []string
+	ObserverCounts []int64
+	ObserverSeries []*stats.Series
+	LossSeries     [metrics.NumCategories]*stats.Series
+	Repairs        int64
+	Losses         int64
+	Deaths         int64
+}
+
+// RunFocal executes the threshold-148 run with the paper's observers.
+func RunFocal(cfg sim.Config, progress func(string)) (*FocalResult, error) {
+	cfg.RepairThreshold = 148
+	cfg.Observers = sim.PaperObservers()
+	if progress != nil {
+		every := cfg.Rounds / 10
+		if every < 1 {
+			every = 1
+		}
+		cfg.ProgressEvery = every
+		cfg.Progress = func(round int64) {
+			progress(fmt.Sprintf("focal run: round %d/%d", round, cfg.Rounds))
+		}
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := s.Run()
+	out := &FocalResult{
+		ObserverNames: res.Observers.Names(),
+		Repairs:       res.Collector.TotalRepairs(),
+		Losses:        res.Collector.TotalLosses(),
+		Deaths:        res.Deaths,
+	}
+	for i := 0; i < res.Observers.Len(); i++ {
+		out.ObserverCounts = append(out.ObserverCounts, res.Observers.Count(i))
+		out.ObserverSeries = append(out.ObserverSeries, res.Observers.Series(i))
+	}
+	for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+		out.LossSeries[c] = res.Collector.LossSeries(c)
+	}
+	return out, nil
+}
+
+// WriteObserverTSV emits figure 3: cumulative repairs per observer over
+// days (step series; one row per repair event).
+func (f *FocalResult) WriteObserverTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "# cumulative repairs per observer\n#observer\tday\tcumulative_repairs"); err != nil {
+		return err
+	}
+	for i, name := range f.ObserverNames {
+		s := f.ObserverSeries[i]
+		for j := 0; j < s.Len(); j++ {
+			x, y := s.At(j)
+			if _, err := fmt.Fprintf(w, "%s\t%.4f\t%.0f\n", name, x, y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteLossSeriesTSV emits figure 4: cumulative lost archives per peer
+// by category over days.
+func (f *FocalResult) WriteLossSeriesTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# cumulative lost archives per peer\n#day"); err != nil {
+		return err
+	}
+	for _, n := range metrics.CategoryNames() {
+		if _, err := fmt.Fprintf(w, "\t%s", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	n := f.LossSeries[0].Len()
+	for i := 0; i < n; i++ {
+		day, _ := f.LossSeries[0].At(i)
+		if _, err := fmt.Fprintf(w, "%.2f", day); err != nil {
+			return err
+		}
+		for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+			_, y := f.LossSeries[c].At(i)
+			if _, err := fmt.Fprintf(w, "\t%.6g", y); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablations
+
+// AblationPoint is one variant's aggregate outcome.
+type AblationPoint struct {
+	Label      string
+	RepairRate [metrics.NumCategories]float64
+	LossRate   [metrics.NumCategories]float64
+	Repairs    int64
+	Losses     int64
+	Deaths     int64
+	Uploaded   int64 // total blocks uploaded (maintenance traffic)
+}
+
+// AblationResult is a labelled comparison of variants.
+type AblationResult struct {
+	Name   string
+	Points []AblationPoint
+}
+
+func runVariants(cfg sim.Config, name string, labels []string, mutate func(c *sim.Config, i int), parallelism int, progress func(string)) (*AblationResult, error) {
+	points, err := runParallel(len(labels), parallelism, func(i int) (AblationPoint, error) {
+		c := cfg
+		c.Seed = cfg.Seed*9176501 + uint64(i)
+		mutate(&c, i)
+		s, err := sim.New(c)
+		if err != nil {
+			return AblationPoint{}, fmt.Errorf("%s variant %q: %w", name, labels[i], err)
+		}
+		res := s.Run()
+		p := AblationPoint{
+			Label:   labels[i],
+			Repairs: res.Collector.TotalRepairs(),
+			Losses:  res.Collector.TotalLosses(),
+			Deaths:  res.Deaths,
+		}
+		for cat := metrics.Category(0); cat < metrics.NumCategories; cat++ {
+			p.RepairRate[cat] = res.Collector.RepairRatePer1000(cat, c.CountInitialAsRepair)
+			p.LossRate[cat] = res.Collector.LossRatePer1000(cat)
+			p.Uploaded += res.Collector.Counts(cat).BlocksUploaded
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("%s %q done: %d repairs, %d losses", name, labels[i], p.Repairs, p.Losses))
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{Name: name, Points: points}, nil
+}
+
+// RunStrategyAblation compares partner-selection strategies (A1 in
+// DESIGN.md) at the focal threshold.
+func RunStrategyAblation(cfg sim.Config, parallelism int, progress func(string)) (*AblationResult, error) {
+	names := selection.Names()
+	return runVariants(cfg, "strategy", names, func(c *sim.Config, i int) {
+		s, err := selection.ByName(names[i], c.AcceptHorizon)
+		if err != nil {
+			panic(err) // names comes from the registry
+		}
+		c.Strategy = s
+	}, parallelism, progress)
+}
+
+// RunAvailabilityAblation compares availability models (A2).
+func RunAvailabilityAblation(cfg sim.Config, parallelism int, progress func(string)) (*AblationResult, error) {
+	labels := []string{"session", "bernoulli"}
+	return runVariants(cfg, "availability-model", labels, func(c *sim.Config, i int) {
+		m, err := churn.ModelByName(labels[i])
+		if err != nil {
+			panic(err)
+		}
+		c.Avail = m
+	}, parallelism, progress)
+}
+
+// RunRepairDelayAblation sweeps the repair-delay knob (the paper's
+// future-work item: hold a triggered repair so temporarily offline
+// partners can return and cancel it).
+func RunRepairDelayAblation(cfg sim.Config, delays []int, parallelism int, progress func(string)) (*AblationResult, error) {
+	labels := make([]string, len(delays))
+	for i, d := range delays {
+		labels[i] = fmt.Sprintf("delay=%dh", d)
+	}
+	return runVariants(cfg, "repair-delay", labels, func(c *sim.Config, i int) {
+		c.RepairDelay = delays[i]
+	}, parallelism, progress)
+}
+
+// RunHorizonAblation sweeps the acceptance horizon L (A3).
+func RunHorizonAblation(cfg sim.Config, horizons []int64, parallelism int, progress func(string)) (*AblationResult, error) {
+	labels := make([]string, len(horizons))
+	for i, h := range horizons {
+		labels[i] = fmt.Sprintf("L=%dd", h/churn.Day)
+	}
+	return runVariants(cfg, "horizon", labels, func(c *sim.Config, i int) {
+		c.AcceptHorizon = horizons[i]
+		c.Strategy = selection.AgeBased{L: horizons[i]}
+	}, parallelism, progress)
+}
+
+// WriteTSV emits the ablation comparison.
+func (a *AblationResult) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# ablation: %s\n#variant\trepairs\tlosses\tdeaths\tuploaded_blocks", a.Name); err != nil {
+		return err
+	}
+	for _, n := range metrics.CategoryNames() {
+		if _, err := fmt.Fprintf(w, "\trepair_rate_%s", n); err != nil {
+			return err
+		}
+	}
+	for _, n := range metrics.CategoryNames() {
+		if _, err := fmt.Fprintf(w, "\tloss_rate_%s", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, p := range a.Points {
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d", p.Label, p.Repairs, p.Losses, p.Deaths, p.Uploaded); err != nil {
+			return err
+		}
+		for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+			if _, err := fmt.Fprintf(w, "\t%.6g", p.RepairRate[c]); err != nil {
+				return err
+			}
+		}
+		for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+			if _, err := fmt.Fprintf(w, "\t%.6g", p.LossRate[c]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/sim"
+)
+
+// microConfig shrinks everything so experiment plumbing tests run in
+// milliseconds; the dynamics tests live in calibration_test.go.
+func microConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.NumPeers = 100
+	cfg.Rounds = 300
+	cfg.TotalBlocks = 16
+	cfg.DataBlocks = 8
+	cfg.RepairThreshold = 10
+	cfg.Quota = 48
+	cfg.PoolSamplePerRound = 32
+	cfg.AcceptHorizon = 48
+	cfg.Seed = 3
+	return cfg
+}
+
+func TestBaseConfigScales(t *testing.T) {
+	for _, s := range []Scale{ScaleSmoke, ScaleDefault, ScalePaper, ""} {
+		cfg, err := BaseConfig(s)
+		if err != nil {
+			t.Fatalf("scale %q: %v", s, err)
+		}
+		if _, err := cfg.Validate(); err != nil {
+			t.Fatalf("scale %q invalid: %v", s, err)
+		}
+		// Intensive parameters unchanged at every scale.
+		if cfg.TotalBlocks != 256 || cfg.DataBlocks != 128 || cfg.Quota != 384 {
+			t.Fatalf("scale %q changed intensive parameters", s)
+		}
+	}
+	if _, err := BaseConfig("galactic"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+	if len(Scales()) != 3 {
+		t.Fatal("Scales() wrong")
+	}
+}
+
+func TestPaperThresholds(t *testing.T) {
+	ts := PaperThresholds()
+	if ts[0] != 132 || ts[len(ts)-1] != 180 {
+		t.Fatalf("thresholds = %v", ts)
+	}
+	if len(ts) != 13 {
+		t.Fatalf("%d thresholds, want 13 (132..180 step 4)", len(ts))
+	}
+}
+
+func TestRunThresholdSweep(t *testing.T) {
+	cfg := microConfig()
+	sweep, err := RunThresholdSweep(cfg, []int{9, 11, 13}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 3 {
+		t.Fatalf("%d points", len(sweep.Points))
+	}
+	// Points sorted by threshold.
+	for i := 1; i < len(sweep.Points); i++ {
+		if sweep.Points[i].Threshold <= sweep.Points[i-1].Threshold {
+			t.Fatal("points not sorted")
+		}
+	}
+	// TSV emitters produce headers and one row per point.
+	var repair, loss strings.Builder
+	if err := sweep.WriteRepairTSV(&repair); err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.WriteLossTSV(&loss); err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range []string{repair.String(), loss.String()} {
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) != 2+3 { // comment + header + 3 points
+			t.Fatalf("TSV has %d lines:\n%s", len(lines), out)
+		}
+		if !strings.Contains(lines[1], "newcomer\tyoung\told\telder") {
+			t.Fatalf("header wrong: %s", lines[1])
+		}
+	}
+	if _, err := RunThresholdSweep(cfg, nil, 1, nil); err == nil {
+		t.Fatal("empty thresholds accepted")
+	}
+	// Invalid threshold propagates the sim error.
+	if _, err := RunThresholdSweep(cfg, []int{999}, 1, nil); err == nil {
+		t.Fatal("invalid threshold accepted")
+	}
+}
+
+func TestSweepDeterminism(t *testing.T) {
+	cfg := microConfig()
+	a, err := RunThresholdSweep(cfg, []int{10, 12}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunThresholdSweep(cfg, []int{10, 12}, 1, nil) // different parallelism
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs across parallelism: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestRunFocal(t *testing.T) {
+	cfg := microConfig()
+	// Focal pins threshold 148; adjust the code shape to make it valid.
+	// The population must supply n=256 simultaneously online partners:
+	// with ~65% mean availability that needs several hundred peers.
+	cfg.TotalBlocks = 256
+	cfg.DataBlocks = 128
+	cfg.Quota = 384
+	cfg.NumPeers = 600
+	cfg.Rounds = 240
+	var msgs []string
+	focal, err := RunFocal(cfg, func(m string) { msgs = append(msgs, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(focal.ObserverNames) != 5 {
+		t.Fatalf("observers = %v", focal.ObserverNames)
+	}
+	if len(msgs) == 0 {
+		t.Fatal("no progress messages")
+	}
+	var obs, loss strings.Builder
+	if err := focal.WriteObserverTSV(&obs); err != nil {
+		t.Fatal(err)
+	}
+	if err := focal.WriteLossSeriesTSV(&loss); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(obs.String(), "baby") {
+		t.Fatal("observer TSV missing baby")
+	}
+	lines := strings.Split(strings.TrimSpace(loss.String()), "\n")
+	// comment + header + one row per sampled day (240 rounds / 24 = 10).
+	if len(lines) != 2+10 {
+		t.Fatalf("loss TSV has %d lines", len(lines))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 200
+	strat, err := RunStrategyAblation(cfg, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strat.Points) != 5 {
+		t.Fatalf("strategy variants = %d", len(strat.Points))
+	}
+	avail, err := RunAvailabilityAblation(cfg, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avail.Points) != 2 {
+		t.Fatalf("availability variants = %d", len(avail.Points))
+	}
+	horizon, err := RunHorizonAblation(cfg, []int64{24, 48, 96}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(horizon.Points) != 3 {
+		t.Fatalf("horizon variants = %d", len(horizon.Points))
+	}
+	if horizon.Points[0].Label != "L=1d" {
+		t.Fatalf("label = %q", horizon.Points[0].Label)
+	}
+	var sb strings.Builder
+	if err := strat.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lifetime-oracle") {
+		t.Fatal("ablation TSV missing variant")
+	}
+}
+
+func TestRegistryCostModel(t *testing.T) {
+	dir := t.TempDir()
+	sums, err := Run("costmodel", Options{OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || len(sums[0].Files) != 1 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	if filepath.Base(sums[0].Files[0]) != "table_repair_cost.tsv" {
+		t.Fatalf("file = %s", sums[0].Files[0])
+	}
+	if !strings.Contains(sums[0].Text, "repairs/day") {
+		t.Fatalf("text = %q", sums[0].Text)
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(Names()) == 0 {
+		t.Fatal("Names empty")
+	}
+}
+
+func TestCategoriesCoverMicroRun(t *testing.T) {
+	// Sanity: the micro run is too short for elders; rates must come
+	// back zero, not NaN.
+	cfg := microConfig()
+	sweep, err := RunThresholdSweep(cfg, []int{10}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sweep.Points[0]
+	if p.RepairRate[metrics.Elder] != 0 || p.LossRate[metrics.Elder] != 0 {
+		t.Fatalf("elder rates in a %d-round run: %+v", cfg.Rounds, p)
+	}
+	if p.RepairRate[metrics.Newcomer] <= 0 {
+		t.Fatal("newcomers never repaired in a churny micro run")
+	}
+	_ = churn.Day
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/costmodel"
+	"p2pbackup/internal/sim"
+)
+
+// Options configures a registry run.
+type Options struct {
+	Scale       Scale
+	Seed        uint64
+	Parallelism int
+	OutDir      string // "" = don't write files
+	Progress    func(string)
+}
+
+// Summary is what an experiment reports back to the CLI.
+type Summary struct {
+	Name  string
+	Files []string
+	Text  string
+}
+
+// Names lists the runnable experiment ids.
+func Names() []string {
+	return []string{"fig1", "fig2", "fig3", "fig4", "costmodel", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "all"}
+}
+
+// Run executes an experiment by id and writes its data files.
+func Run(name string, opts Options) ([]Summary, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	switch name {
+	case "fig1", "fig2":
+		return runFigs12(opts)
+	case "fig3", "fig4":
+		return runFigs34(opts)
+	case "costmodel":
+		return runCostModel(opts)
+	case "ablation-strategy":
+		return runAblation(opts, "ablation_strategy.tsv", func(cfg sim.Config) (*AblationResult, error) {
+			return RunStrategyAblation(cfg, opts.Parallelism, opts.Progress)
+		})
+	case "ablation-availability":
+		return runAblation(opts, "ablation_availability.tsv", func(cfg sim.Config) (*AblationResult, error) {
+			return RunAvailabilityAblation(cfg, opts.Parallelism, opts.Progress)
+		})
+	case "ablation-delay":
+		return runAblation(opts, "ablation_delay.tsv", func(cfg sim.Config) (*AblationResult, error) {
+			return RunRepairDelayAblation(cfg, []int{0, 6, 24, 72}, opts.Parallelism, opts.Progress)
+		})
+	case "ablation-horizon":
+		return runAblation(opts, "ablation_horizon.tsv", func(cfg sim.Config) (*AblationResult, error) {
+			return RunHorizonAblation(cfg, []int64{30 * churn.Day, 90 * churn.Day, 180 * churn.Day}, opts.Parallelism, opts.Progress)
+		})
+	case "all":
+		var all []Summary
+		for _, n := range []string{"costmodel", "fig1", "fig3", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay"} {
+			s, err := Run(n, opts)
+			if err != nil {
+				return all, err
+			}
+			all = append(all, s...)
+		}
+		return all, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", name, Names())
+	}
+}
+
+func baseFor(opts Options) (sim.Config, error) {
+	cfg, err := BaseConfig(opts.Scale)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Seed = opts.Seed
+	return cfg, nil
+}
+
+func writeFile(opts Options, name string, emit func(io.Writer) error) (string, error) {
+	if opts.OutDir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(opts.OutDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := emit(f); err != nil {
+		return "", err
+	}
+	return path, f.Close()
+}
+
+func runFigs12(opts Options) ([]Summary, error) {
+	cfg, err := baseFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := RunThresholdSweep(cfg, PaperThresholds(), opts.Parallelism, opts.Progress)
+	if err != nil {
+		return nil, err
+	}
+	sweep.Scale = opts.Scale
+	var files []string
+	if p, err := writeFile(opts, "fig1_repairs_by_threshold.tsv", sweep.WriteRepairTSV); err != nil {
+		return nil, err
+	} else if p != "" {
+		files = append(files, p)
+	}
+	if p, err := writeFile(opts, "fig2_losses_by_threshold.tsv", sweep.WriteLossTSV); err != nil {
+		return nil, err
+	} else if p != "" {
+		files = append(files, p)
+	}
+	text := "threshold\trepairs/1k(newcomer,young,old,elder)\tlosses/1k(newcomer,young,old,elder)\n"
+	for _, p := range sweep.Points {
+		text += fmt.Sprintf("%d\t%.3g %.3g %.3g %.3g\t%.3g %.3g %.3g %.3g\n",
+			p.Threshold,
+			p.RepairRate[0], p.RepairRate[1], p.RepairRate[2], p.RepairRate[3],
+			p.LossRate[0], p.LossRate[1], p.LossRate[2], p.LossRate[3])
+	}
+	return []Summary{{Name: "fig1+fig2", Files: files, Text: text}}, nil
+}
+
+func runFigs34(opts Options) ([]Summary, error) {
+	cfg, err := baseFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	focal, err := RunFocal(cfg, opts.Progress)
+	if err != nil {
+		return nil, err
+	}
+	focal.Scale = opts.Scale
+	var files []string
+	if p, err := writeFile(opts, "fig3_observer_repairs.tsv", focal.WriteObserverTSV); err != nil {
+		return nil, err
+	} else if p != "" {
+		files = append(files, p)
+	}
+	if p, err := writeFile(opts, "fig4_cumulative_losses.tsv", focal.WriteLossSeriesTSV); err != nil {
+		return nil, err
+	} else if p != "" {
+		files = append(files, p)
+	}
+	text := "observer\tcumulative repairs\n"
+	for i, n := range focal.ObserverNames {
+		text += fmt.Sprintf("%s\t%d\n", n, focal.ObserverCounts[i])
+	}
+	for c := 0; c < len(focal.LossSeries); c++ {
+		_, last := focal.LossSeries[c].Last()
+		text += fmt.Sprintf("losses/peer[%s]\t%.3f\n", focal.LossSeries[c].Name(), last)
+	}
+	return []Summary{{Name: "fig3+fig4", Files: files, Text: text}}, nil
+}
+
+func runCostModel(opts Options) ([]Summary, error) {
+	rows, err := costmodel.PaperTable()
+	if err != nil {
+		return nil, err
+	}
+	emit := func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "#case\tdownload_s\tupload_s\ttotal_min\trepairs_per_day"); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if _, err := fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.1f\t%.1f\n",
+				r.Label, r.Cost.Download.Seconds(), r.Cost.Upload.Seconds(),
+				r.Cost.Total().Minutes(), r.RepairsPerDay); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var files []string
+	if p, err := writeFile(opts, "table_repair_cost.tsv", emit); err != nil {
+		return nil, err
+	} else if p != "" {
+		files = append(files, p)
+	}
+	text := ""
+	for _, r := range rows {
+		text += fmt.Sprintf("%-26s total %.1f min (%.0fs down + %.0fs up), max %.1f repairs/day\n",
+			r.Label, r.Cost.Total().Minutes(), r.Cost.Download.Seconds(), r.Cost.Upload.Seconds(), r.RepairsPerDay)
+	}
+	return []Summary{{Name: "costmodel", Files: files, Text: text}}, nil
+}
+
+func runAblation(opts Options, filename string, run func(sim.Config) (*AblationResult, error)) ([]Summary, error) {
+	cfg, err := baseFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	if p, err := writeFile(opts, filename, res.WriteTSV); err != nil {
+		return nil, err
+	} else if p != "" {
+		files = append(files, p)
+	}
+	text := fmt.Sprintf("%-24s %10s %8s %8s\n", "variant", "repairs", "losses", "deaths")
+	for _, p := range res.Points {
+		text += fmt.Sprintf("%-24s %10d %8d %8d\n", p.Label, p.Repairs, p.Losses, p.Deaths)
+	}
+	return []Summary{{Name: res.Name, Files: files, Text: text}}, nil
+}

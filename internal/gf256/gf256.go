@@ -1,0 +1,179 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8).
+//
+// The field is realised as GF(2)[x]/(x^8 + x^4 + x^3 + x^2 + 1), i.e. the
+// irreducible polynomial 0x11D used by most Reed-Solomon deployments
+// (CCSDS, QR codes, and the original Reed-Solomon paper's construction
+// over a binary extension field). Multiplication and division run on
+// precomputed log/exp tables; bulk slice kernels are provided for the
+// erasure coder's hot loops.
+//
+// All operations are constant-size table lookups; the package allocates
+// nothing after init.
+package gf256
+
+// Poly is the irreducible polynomial defining the field, with the x^8
+// term implicit: x^8 + x^4 + x^3 + x^2 + 1.
+const Poly = 0x1D
+
+// Generator is the primitive element used to build the log/exp tables.
+// 2 (i.e. the polynomial x) is primitive for 0x11D.
+const Generator = 2
+
+// Order is the multiplicative order of the field's nonzero elements.
+const Order = 255
+
+var (
+	expTable [512]byte // expTable[i] = Generator^i, doubled to avoid mod 255 in Mul
+	logTable [256]byte // logTable[x] = log_Generator(x); logTable[0] is unused
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < Order; i++ {
+		expTable[i] = x
+		logTable[x] = byte(i)
+		// Multiply x by the generator (x <<= 1 with polynomial reduction).
+		carry := x&0x80 != 0
+		x <<= 1
+		if carry {
+			x ^= Poly
+		}
+	}
+	if x != 1 {
+		panic("gf256: generator does not have order 255")
+	}
+	for i := Order; i < 512; i++ {
+		expTable[i] = expTable[i-Order]
+	}
+}
+
+// Add returns a + b in GF(2^8). Addition is XOR; it is its own inverse,
+// so Sub is the same operation.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a - b in GF(2^8), identical to Add.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a / b in GF(2^8). It panics if b == 0.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(logTable[a]) - int(logTable[b])
+	if d < 0 {
+		d += Order
+	}
+	return expTable[d]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a == 0.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[Order-int(logTable[a])]
+}
+
+// Exp returns Generator^n for n >= 0.
+func Exp(n int) byte {
+	return expTable[n%Order]
+}
+
+// Log returns log_Generator(a). It panics if a == 0.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// Pow returns a^n in GF(2^8) for n >= 0, with 0^0 == 1.
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[(int(logTable[a])*n)%Order]
+}
+
+// MulSlice sets dst[i] = c * src[i] for all i. dst and src must have the
+// same length; they may alias.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	mt := mulTable(c)
+	for i, s := range src {
+		dst[i] = mt[s]
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c * src[i] for all i: a fused
+// multiply-accumulate, the inner kernel of Reed-Solomon encoding.
+// dst and src must have the same length and must not alias unless equal.
+func MulAddSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	mt := mulTable(c)
+	for i, s := range src {
+		dst[i] ^= mt[s]
+	}
+}
+
+// AddSlice sets dst[i] ^= src[i] for all i.
+func AddSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: AddSlice length mismatch")
+	}
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}
+
+// mulTables holds the full 256x256 product table (64 KiB), built at init
+// so that slice kernels are safe for concurrent use.
+var mulTables [256][256]byte
+
+func init() {
+	for c := 1; c < 256; c++ {
+		lc := int(logTable[c])
+		for x := 1; x < 256; x++ {
+			mulTables[c][x] = expTable[lc+int(logTable[x])]
+		}
+	}
+}
+
+func mulTable(c byte) *[256]byte { return &mulTables[c] }

@@ -1,0 +1,237 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x53, 0xCA) != 0x53^0xCA {
+		t.Fatalf("Add(0x53, 0xCA) = %#x, want %#x", Add(0x53, 0xCA), 0x53^0xCA)
+	}
+	if Sub(0x53, 0xCA) != Add(0x53, 0xCA) {
+		t.Fatal("Sub must equal Add in characteristic 2")
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	// Reference products for polynomial 0x11D.
+	cases := []struct{ a, b, want byte }{
+		{0, 0, 0},
+		{0, 7, 0},
+		{1, 1, 1},
+		{1, 0xFF, 0xFF},
+		{2, 2, 4},
+		{2, 0x80, 0x1D},    // x*x^7 = x^8 = x^4+x^3+x^2+1 under 0x11D
+		{0x80, 0x80, 0x13}, // x^14 reduced by hand: 0x13
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// mulSlow multiplies via carry-less multiplication with polynomial
+// reduction, independent of the table construction.
+func mulSlow(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		carry := a&0x80 != 0
+		a <<= 1
+		if carry {
+			a ^= Poly
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func TestMulMatchesSlowReference(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), mulSlow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%#x, %#x) = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	// Commutativity and associativity of multiplication.
+	if err := quick.Check(func(a, b, c byte) bool {
+		return Mul(a, b) == Mul(b, a) && Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Distributivity.
+	if err := quick.Check(func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Multiplicative identity and zero.
+	if err := quick.Check(func(a byte) bool {
+		return Mul(a, 1) == a && Mul(a, 0) == 0
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverses(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if Mul(byte(a), inv) != 1 {
+			t.Fatalf("Inv(%#x) = %#x is not an inverse", a, inv)
+		}
+		if Div(1, byte(a)) != inv {
+			t.Fatalf("Div(1, %#x) != Inv(%#x)", a, a)
+		}
+	}
+}
+
+func TestDivIsMulByInverse(t *testing.T) {
+	if err := quick.Check(func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(a, b) == Mul(a, Inv(b))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero must panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) must panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestLogZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log(0) must panic")
+		}
+	}()
+	Log(0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Exp(Log(byte(a))) != byte(a) {
+			t.Fatalf("Exp(Log(%#x)) != %#x", a, a)
+		}
+	}
+	seen := make(map[byte]bool)
+	for i := 0; i < Order; i++ {
+		v := Exp(i)
+		if seen[v] {
+			t.Fatalf("Exp(%d) = %#x repeats; generator is not primitive", i, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(0, 0) != 1 {
+		t.Error("0^0 must be 1 by convention")
+	}
+	if Pow(0, 5) != 0 {
+		t.Error("0^5 must be 0")
+	}
+	for _, a := range []byte{1, 2, 3, 0x1D, 0xFF} {
+		acc := byte(1)
+		for n := 0; n < 10; n++ {
+			if got := Pow(a, n); got != acc {
+				t.Fatalf("Pow(%#x, %d) = %#x, want %#x", a, n, got, acc)
+			}
+			acc = Mul(acc, a)
+		}
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 0x80, 0xFF, 0x53}
+	dst := make([]byte, len(src))
+	for _, c := range []byte{0, 1, 2, 0xCA} {
+		MulSlice(c, src, dst)
+		for i := range src {
+			if dst[i] != Mul(c, src[i]) {
+				t.Fatalf("MulSlice(c=%#x)[%d] = %#x, want %#x", c, i, dst[i], Mul(c, src[i]))
+			}
+		}
+	}
+}
+
+func TestMulSliceAliasing(t *testing.T) {
+	buf := []byte{1, 2, 3, 4, 5}
+	want := make([]byte, len(buf))
+	MulSlice(7, buf, want)
+	MulSlice(7, buf, buf) // in-place
+	for i := range buf {
+		if buf[i] != want[i] {
+			t.Fatalf("in-place MulSlice differs at %d", i)
+		}
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{9, 8, 7, 6}
+	for _, c := range []byte{0, 1, 5} {
+		dst := []byte{1, 2, 3, 4}
+		want := make([]byte, 4)
+		for i := range want {
+			want[i] = Add(dst[i], Mul(c, src[i]))
+		}
+		MulAddSlice(c, src, dst)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("MulAddSlice(c=%#x)[%d] = %#x, want %#x", c, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAddSlice(t *testing.T) {
+	a := []byte{1, 2, 3}
+	b := []byte{4, 5, 6}
+	AddSlice(a, b)
+	for i := range b {
+		if b[i] != a[i]^[]byte{4, 5, 6}[i] {
+			t.Fatalf("AddSlice wrong at %d", i)
+		}
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"MulSlice":    func() { MulSlice(1, make([]byte, 2), make([]byte, 3)) },
+		"MulAddSlice": func() { MulAddSlice(1, make([]byte, 2), make([]byte, 3)) },
+		"AddSlice":    func() { AddSlice(make([]byte, 2), make([]byte, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,140 @@
+package maintenance
+
+import (
+	"testing"
+
+	"p2pbackup/internal/overlay"
+)
+
+// TestRepairDelayHoldsDecode: with RepairDelay set, a triggered repair
+// waits before decoding, and a recovery during the wait cancels the
+// whole episode - the paper's future-work rationale.
+func TestRepairDelayHoldsDecode(t *testing.T) {
+	p := testParams()
+	p.RepairDelay = 3
+	m, led, _, r := harness(t, 30, p)
+	id := overlay.PeerID(0)
+	completeInitial(t, m, r, id)
+	hosts := led.Hosts(id, nil)
+	// 4 partners offline: visible = 4 < 5 triggers, but alive = 8.
+	for _, h := range hosts[:4] {
+		led.SetOnline(h, false)
+	}
+	// Three steps: waiting (None), no decode yet.
+	for i := 0; i < 3; i++ {
+		res := m.Step(r, id)
+		if res.Outcome != OutcomeNone {
+			t.Fatalf("step %d during delay: %v, want none", i, res.Outcome)
+		}
+		if led.Alive(id) != 8 {
+			t.Fatal("decode point reached during the delay (partners dropped)")
+		}
+	}
+	// Partners return before the delay elapses entirely: cancel.
+	for _, h := range hosts[:4] {
+		led.SetOnline(h, true)
+	}
+	res := m.Step(r, id)
+	if res.Outcome != OutcomeCanceled {
+		t.Fatalf("outcome = %v, want canceled (recovery during delay)", res.Outcome)
+	}
+	if led.Alive(id) != 8 || led.Visible(id) != 8 {
+		t.Fatal("cancelled repair must leave the archive untouched")
+	}
+}
+
+// TestRepairDelayElapsesThenRepairs: if partners stay gone, the repair
+// proceeds after the delay.
+func TestRepairDelayElapsesThenRepairs(t *testing.T) {
+	p := testParams()
+	p.RepairDelay = 2
+	m, led, _, r := harness(t, 30, p)
+	id := overlay.PeerID(0)
+	completeInitial(t, m, r, id)
+	hosts := led.Hosts(id, nil)
+	led.RemoveHost(hosts[0])
+	led.RemoveHost(hosts[1])
+	led.RemoveHost(hosts[2])
+	led.RemoveHost(hosts[3])
+	// Two waiting steps, then the repair executes.
+	for i := 0; i < 2; i++ {
+		if res := m.Step(r, id); res.Outcome != OutcomeNone {
+			t.Fatalf("step %d: %v, want none (waiting)", i, res.Outcome)
+		}
+	}
+	var res StepResult
+	for i := 0; i < 10 && res.Outcome != OutcomeRepaired; i++ {
+		res = m.Step(r, id)
+	}
+	if res.Outcome != OutcomeRepaired {
+		t.Fatalf("repair never completed after delay: %v", res.Outcome)
+	}
+	if res.Uploaded != 4 {
+		t.Fatalf("uploaded = %d, want 4", res.Uploaded)
+	}
+	if led.Visible(id) != 8 {
+		t.Fatal("archive not restored to full")
+	}
+}
+
+// TestRepairDelayDoesNotBlockStallAccounting: decode outages are still
+// detected while waiting.
+func TestRepairDelayDoesNotBlockStallAccounting(t *testing.T) {
+	p := testParams()
+	p.RepairDelay = 5
+	m, led, _, r := harness(t, 30, p)
+	id := overlay.PeerID(0)
+	completeInitial(t, m, r, id)
+	hosts := led.Hosts(id, nil)
+	for _, h := range hosts[:5] { // visible = 3 < k = 4
+		led.SetOnline(h, false)
+	}
+	res := m.Step(r, id)
+	if res.Outcome != OutcomeStalled || !res.OutageStarted {
+		t.Fatalf("outcome = %+v, want stalled with outage start", res)
+	}
+}
+
+// TestRepairDelayValidation rejects negative delays.
+func TestRepairDelayValidation(t *testing.T) {
+	p := testParams()
+	p.RepairDelay = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+// TestRepairDelayResetBetweenEpisodes: the wait counter restarts for
+// each episode.
+func TestRepairDelayResetBetweenEpisodes(t *testing.T) {
+	p := testParams()
+	p.RepairDelay = 2
+	m, led, _, r := harness(t, 40, p)
+	id := overlay.PeerID(0)
+	completeInitial(t, m, r, id)
+
+	breakAndRepair := func() {
+		t.Helper()
+		hosts := led.Hosts(id, nil)
+		led.RemoveHost(hosts[0])
+		led.RemoveHost(hosts[1])
+		led.RemoveHost(hosts[2])
+		led.RemoveHost(hosts[3])
+		waits := 0
+		var res StepResult
+		for i := 0; i < 20 && res.Outcome != OutcomeRepaired; i++ {
+			res = m.Step(r, id)
+			if res.Outcome == OutcomeNone && led.Alive(id) == 4 {
+				waits++
+			}
+		}
+		if res.Outcome != OutcomeRepaired {
+			t.Fatalf("episode did not complete: %v", res.Outcome)
+		}
+		if waits < 2 {
+			t.Fatalf("delay not honoured: only %d waiting steps", waits)
+		}
+	}
+	breakAndRepair()
+	breakAndRepair() // second episode must wait again
+}

@@ -1,0 +1,480 @@
+// Package maintenance implements the paper's simulated protocol
+// (section 3.2): per-peer archive maintenance as a small state machine.
+//
+// Each peer owns one archive of n = k+m erasure-coded blocks, one block
+// per partner. Every round the peer monitors its partners; when the
+// number of visible blocks falls below the repair threshold k', it
+// starts a repair:
+//
+//  1. Triggered: gather candidate partners (mutual acceptance through
+//     the selection strategy, bounded sampling per round) and wait until
+//     at least k blocks are visible so the archive can be decoded. If
+//     visibility recovers above the threshold first, the repair is
+//     cancelled (configurable).
+//  2. Decode point: the peer downloads k blocks, re-encodes, and writes
+//     off the partners it considers gone - dead ones always, currently
+//     offline ones optionally (the paper's departure time-threshold,
+//     collapsed to the decode instant).
+//  3. Uploading: replacement blocks are pushed incrementally, each round
+//     to the best-ranked currently-online pool members, until the
+//     archive is back to n placed blocks. The paper is explicit that
+//     this phase need not fit in one round: "the upload of generated
+//     blocks can be done later as new partners become available".
+//
+// The initial upload is the Uploading phase with d = n ("seen as a
+// repair where d = 256"); a peer is not included in the network until
+// it completes. An archive is lost when fewer than k blocks survive on
+// living peers.
+//
+// The Maintainer operates on the overlay.Ledger and is driven by the
+// simulation engine, which decides which peers act each round and in
+// what order. It is not safe for concurrent use.
+package maintenance
+
+import (
+	"fmt"
+
+	"p2pbackup/internal/overlay"
+	"p2pbackup/internal/rng"
+	"p2pbackup/internal/selection"
+)
+
+// Params configures the maintenance protocol.
+type Params struct {
+	// TotalBlocks is n, the blocks per archive (paper: 256).
+	TotalBlocks int
+	// DataBlocks is k, the blocks needed to decode (paper: 128).
+	DataBlocks int
+	// RepairThreshold is k': repair when visible blocks drop below it
+	// (paper: varied 132-180, focus 148).
+	RepairThreshold int
+	// PoolSamplePerRound bounds candidate probing per repairing peer
+	// per round.
+	PoolSamplePerRound int
+	// DropOffline controls whether the decode point writes off
+	// currently offline partners (default in the paper reproduction:
+	// true). When false, only dead partners are replaced.
+	DropOffline bool
+	// UploadBudgetPerRound caps how many blocks a peer can push per
+	// round, modelling the asymmetric-link bound of the paper's section
+	// 2.2.4 (a worst-case repair of ~128 blocks fills roughly one
+	// round). 0 means unlimited.
+	UploadBudgetPerRound int
+	// CancelOnRecover aborts a repair that has not yet decoded if the
+	// visible count climbs back to the threshold.
+	CancelOnRecover bool
+	// RepairDelay makes a triggered repair wait this many owner-online
+	// rounds before its decode point, giving temporarily offline
+	// partners time to return (the paper's future-work item: "delaying
+	// the repair to allow peers to come back in the system"). Most
+	// effective together with CancelOnRecover. 0 = repair immediately.
+	RepairDelay int
+}
+
+// Validate checks parameter consistency.
+func (p Params) Validate() error {
+	if p.DataBlocks < 1 {
+		return fmt.Errorf("maintenance: k = %d must be >= 1", p.DataBlocks)
+	}
+	if p.TotalBlocks <= p.DataBlocks {
+		return fmt.Errorf("maintenance: n = %d must exceed k = %d", p.TotalBlocks, p.DataBlocks)
+	}
+	if p.RepairThreshold < p.DataBlocks || p.RepairThreshold > p.TotalBlocks {
+		return fmt.Errorf("maintenance: threshold %d outside [k=%d, n=%d]",
+			p.RepairThreshold, p.DataBlocks, p.TotalBlocks)
+	}
+	if p.PoolSamplePerRound < 1 {
+		return fmt.Errorf("maintenance: pool sample %d must be >= 1", p.PoolSamplePerRound)
+	}
+	if p.UploadBudgetPerRound < 0 {
+		return fmt.Errorf("maintenance: upload budget %d must be >= 0", p.UploadBudgetPerRound)
+	}
+	if p.RepairDelay < 0 {
+		return fmt.Errorf("maintenance: repair delay %d must be >= 0", p.RepairDelay)
+	}
+	return nil
+}
+
+// Outcome reports what a Step accomplished.
+type Outcome uint8
+
+// Step outcomes.
+const (
+	// OutcomeNone: nothing notable (pool building or uploading
+	// continues).
+	OutcomeNone Outcome = iota
+	// OutcomeRepaired: a maintenance repair episode completed (the
+	// archive is back to n placed blocks).
+	OutcomeRepaired
+	// OutcomeInitialDone: the initial (or post-loss) full upload
+	// completed; the peer is now included.
+	OutcomeInitialDone
+	// OutcomeStalled: repair needed but fewer than k blocks visible, so
+	// the archive cannot be decoded this round.
+	OutcomeStalled
+	// OutcomeCanceled: visibility recovered above the threshold before
+	// the decode point; the repair was abandoned.
+	OutcomeCanceled
+)
+
+var outcomeNames = [...]string{"none", "repaired", "initial-done", "stalled", "canceled"}
+
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
+// StepResult carries a step's outcome and its traffic accounting.
+// Uploaded and Dropped are reported on the step that finishes an
+// episode and cover the whole episode.
+type StepResult struct {
+	Outcome  Outcome
+	Uploaded int // blocks uploaded during the episode
+	Dropped  int // placements written off at the decode point
+	// OutageStarted marks the first stalled round of a decode outage:
+	// the archive just became unrecoverable from currently online peers
+	// (visible < k). This is the event the paper counts as a lost
+	// archive ("even if the disconnections were temporary"); whether it
+	// becomes a PERMANENT loss (alive < k) is tracked separately by
+	// LostArchive.
+	OutageStarted bool
+}
+
+// Env supplies the Maintainer with information owned by the simulation
+// engine: peer descriptions for the strategy and candidate sampling.
+type Env interface {
+	// Info describes a peer for the selection strategy.
+	Info(id overlay.PeerID) selection.PeerInfo
+	// SampleCandidate draws a random potential partner, or NoPeer if
+	// none can be drawn.
+	SampleCandidate(r *rng.Rand) overlay.PeerID
+}
+
+// state is the per-archive protocol state.
+type state uint8
+
+const (
+	stateIdle      state = iota // healthy included archive
+	stateTriggered              // below threshold, not yet decoded
+	stateUploading              // decoded (or initial), pushing blocks
+)
+
+// poolEntry is an accepted candidate waiting to receive a block.
+type poolEntry struct {
+	ref   overlay.Ref
+	score float64
+}
+
+// peerState is the per-slot maintenance state.
+type peerState struct {
+	included  bool
+	unmetered bool
+	outage    bool // inside a decode outage (visible < k observed)
+	st        state
+	waited    int // owner-online rounds spent in Triggered (RepairDelay)
+	uploaded  int // blocks placed in the current episode
+	dropped   int // placements written off at the decode point
+	pool      []poolEntry
+	inPool    map[overlay.PeerID]uint32 // id -> gen, for dedup
+}
+
+// Maintainer runs the maintenance protocol for every slot.
+type Maintainer struct {
+	params Params
+	led    *overlay.Ledger
+	tab    *overlay.Table
+	strat  selection.Strategy
+	env    Env
+	peers  []peerState
+}
+
+// New returns a Maintainer over the ledger's slots. It panics on
+// invalid params (programmer error; validate user input with
+// Params.Validate first).
+func New(params Params, led *overlay.Ledger, tab *overlay.Table, strat selection.Strategy, env Env) *Maintainer {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	if led.NumPeers() != tab.Len() {
+		panic("maintenance: ledger and table sizes differ")
+	}
+	return &Maintainer{
+		params: params,
+		led:    led,
+		tab:    tab,
+		strat:  strat,
+		env:    env,
+		peers:  make([]peerState, led.NumPeers()),
+	}
+}
+
+// Params returns the protocol parameters.
+func (m *Maintainer) Params() Params { return m.params }
+
+// Included reports whether the peer completed its initial upload.
+func (m *Maintainer) Included(id overlay.PeerID) bool { return m.peers[id].included }
+
+// Repairing reports whether the peer has a repair episode in flight.
+func (m *Maintainer) Repairing(id overlay.PeerID) bool { return m.peers[id].st != stateIdle }
+
+// PoolSize returns the current candidate pool size (tests/diagnostics).
+func (m *Maintainer) PoolSize(id overlay.PeerID) int { return len(m.peers[id].pool) }
+
+// SetUnmetered marks a slot as quota-exempt (observer peers).
+func (m *Maintainer) SetUnmetered(id overlay.PeerID, v bool) { m.peers[id].unmetered = v }
+
+// Reset returns a slot to the fresh state (used when a peer dies and
+// the slot is reused). The caller is responsible for the ledger-side
+// cleanup (RemovePeer). The unmetered flag persists: it is a property
+// of the slot.
+func (m *Maintainer) Reset(id overlay.PeerID) {
+	p := &m.peers[id]
+	p.included = false
+	p.outage = false
+	p.st = stateIdle
+	p.uploaded = 0
+	p.dropped = 0
+	p.pool = nil
+	p.inPool = nil
+}
+
+// LostArchive reports whether an included peer's archive has become
+// unrecoverable: fewer than k blocks on living hosts.
+func (m *Maintainer) LostArchive(id overlay.PeerID) bool {
+	return m.peers[id].included && m.led.Alive(id) < m.params.DataBlocks
+}
+
+// ResetArchive abandons a lost archive: surviving (useless) placements
+// are released and the peer re-enters the initial-upload flow with a
+// freshly encoded archive.
+func (m *Maintainer) ResetArchive(id overlay.PeerID) {
+	m.led.DropOwner(id)
+	p := &m.peers[id]
+	p.included = false
+	p.outage = false
+	p.st = stateIdle
+	p.waited = 0
+	p.uploaded = 0
+	p.dropped = 0
+	p.pool = p.pool[:0]
+	clear(p.inPool)
+}
+
+// WantsStep reports whether the peer has maintenance work this round
+// (assuming its owner is online; the engine checks that).
+func (m *Maintainer) WantsStep(id overlay.PeerID) bool {
+	p := &m.peers[id]
+	if !p.included || p.st != stateIdle {
+		return true
+	}
+	return m.led.Visible(id) < m.params.RepairThreshold
+}
+
+// Step runs one round of maintenance for an online peer.
+func (m *Maintainer) Step(r *rng.Rand, id overlay.PeerID) StepResult {
+	p := &m.peers[id]
+	if !p.included {
+		// Initial (or post-loss) upload: straight to Uploading.
+		p.st = stateUploading
+		return m.stepUpload(r, id, p)
+	}
+	switch p.st {
+	case stateIdle:
+		if m.led.Visible(id) >= m.params.RepairThreshold {
+			return StepResult{Outcome: OutcomeNone}
+		}
+		p.st = stateTriggered
+		fallthrough
+	case stateTriggered:
+		return m.stepTriggered(r, id, p)
+	case stateUploading:
+		return m.stepUpload(r, id, p)
+	default:
+		panic(fmt.Sprintf("maintenance: bad state %d", p.st))
+	}
+}
+
+// stepTriggered gathers candidates while waiting for the decode point.
+func (m *Maintainer) stepTriggered(r *rng.Rand, id overlay.PeerID, p *peerState) StepResult {
+	visible := m.led.Visible(id)
+	if m.params.CancelOnRecover && visible >= m.params.RepairThreshold {
+		m.finishEpisode(p)
+		return StepResult{Outcome: OutcomeCanceled}
+	}
+	// Candidate gathering continues even while stalled; partners found
+	// now shorten the upload phase.
+	m.refreshPool(r, id, p)
+	if visible < m.params.DataBlocks {
+		res := StepResult{Outcome: OutcomeStalled}
+		if !p.outage {
+			p.outage = true
+			res.OutageStarted = true
+		}
+		return res
+	}
+	p.outage = false // decodable again; any new outage is a fresh event
+	if p.waited < m.params.RepairDelay {
+		// Deliberately hold the repair: partners may come back, letting
+		// CancelOnRecover avoid the whole episode.
+		p.waited++
+		return StepResult{Outcome: OutcomeNone}
+	}
+	// Decode point: download k blocks, re-encode, write off partners
+	// considered gone.
+	if m.params.DropOffline {
+		for i := m.led.Alive(id) - 1; i >= 0; i-- {
+			host, err := m.led.HostAt(id, i)
+			if err != nil {
+				panic(err) // ledger indexes are engine-controlled
+			}
+			if !m.led.Online(host) {
+				if err := m.led.DropPlacementAt(id, i); err != nil {
+					panic(err)
+				}
+				p.dropped++
+			}
+		}
+	}
+	if m.led.Alive(id) >= m.params.TotalBlocks {
+		// Nothing to upload (possible with DropOffline=false when only
+		// offline partners pushed us under the threshold).
+		m.finishEpisode(p)
+		return StepResult{Outcome: OutcomeCanceled}
+	}
+	p.st = stateUploading
+	return m.stepUpload(r, id, p)
+}
+
+// stepUpload pushes blocks to the best-ranked online pool members until
+// the archive holds n placed blocks.
+func (m *Maintainer) stepUpload(r *rng.Rand, id overlay.PeerID, p *peerState) StepResult {
+	m.refreshPool(r, id, p)
+	deficit := m.params.TotalBlocks - m.led.Alive(id)
+	budget := m.params.UploadBudgetPerRound
+	if budget <= 0 {
+		budget = deficit // unlimited
+	}
+	for deficit > 0 && budget > 0 {
+		best := m.takeBestPlaceable(id, p)
+		if best == overlay.NoPeer {
+			break
+		}
+		m.place(id, p, best)
+		p.uploaded++
+		deficit--
+		budget--
+	}
+	if deficit > 0 {
+		return StepResult{Outcome: OutcomeNone} // keep going next round
+	}
+	res := StepResult{Uploaded: p.uploaded, Dropped: p.dropped}
+	if p.included {
+		res.Outcome = OutcomeRepaired
+	} else {
+		res.Outcome = OutcomeInitialDone
+		p.included = true
+	}
+	m.finishEpisode(p)
+	return res
+}
+
+// finishEpisode clears episode state and releases the pool.
+func (m *Maintainer) finishEpisode(p *peerState) {
+	p.st = stateIdle
+	p.waited = 0
+	p.uploaded = 0
+	p.dropped = 0
+	p.pool = p.pool[:0]
+	clear(p.inPool)
+}
+
+func (m *Maintainer) place(owner overlay.PeerID, p *peerState, host overlay.PeerID) {
+	var err error
+	if p.unmetered {
+		err = m.led.PlaceUnmetered(owner, host)
+	} else {
+		err = m.led.Place(owner, host)
+	}
+	if err != nil {
+		// takeBestPlaceable validated quota and liveness within this
+		// same single-threaded step; failure is a bug.
+		panic(fmt.Sprintf("maintenance: placement %d->%d failed: %v", owner, host, err))
+	}
+}
+
+// refreshPool prunes dead/ineligible entries and samples new candidates
+// up to the per-round budget. Offline candidates are NOT pruned: they
+// agreed to the partnership and become placeable when they return.
+func (m *Maintainer) refreshPool(r *rng.Rand, id overlay.PeerID, p *peerState) {
+	// Prune entries that can never be used again.
+	valid := p.pool[:0]
+	for _, e := range p.pool {
+		if !m.tab.Current(e.ref) || m.led.HasPlacement(id, e.ref.ID) {
+			delete(p.inPool, e.ref.ID)
+			continue
+		}
+		valid = append(valid, e)
+	}
+	p.pool = valid
+
+	if len(p.pool) >= m.params.TotalBlocks {
+		return // pool is as large as any conceivable deficit
+	}
+	if p.inPool == nil {
+		p.inPool = make(map[overlay.PeerID]uint32)
+	}
+	ownerInfo := m.env.Info(id)
+	for tries := 0; tries < m.params.PoolSamplePerRound && len(p.pool) < m.params.TotalBlocks; tries++ {
+		c := m.env.SampleCandidate(r)
+		if c == overlay.NoPeer || c == id {
+			continue
+		}
+		if !m.led.Online(c) {
+			continue // cannot negotiate with an offline peer
+		}
+		if gen, ok := p.inPool[c]; ok && gen == m.tab.Gen(c) {
+			continue // already pooled
+		}
+		if !p.unmetered && m.led.FreeQuota(c) < 1 {
+			continue
+		}
+		if m.led.HasPlacement(id, c) {
+			continue // one block per partner per archive
+		}
+		candInfo := m.env.Info(c)
+		if !selection.Agree(r, m.strat, ownerInfo, candInfo) {
+			continue
+		}
+		p.inPool[c] = m.tab.Gen(c)
+		p.pool = append(p.pool, poolEntry{ref: m.tab.Ref(c), score: m.strat.Score(candInfo)})
+	}
+}
+
+// takeBestPlaceable removes and returns the highest-scored pool entry
+// that can receive a block right now (alive, online, quota available,
+// not yet a partner), or NoPeer if none qualifies.
+func (m *Maintainer) takeBestPlaceable(id overlay.PeerID, p *peerState) overlay.PeerID {
+	bestIdx := -1
+	for i, e := range p.pool {
+		if !m.tab.Current(e.ref) ||
+			!m.led.Online(e.ref.ID) ||
+			(!p.unmetered && m.led.FreeQuota(e.ref.ID) < 1) ||
+			m.led.HasPlacement(id, e.ref.ID) {
+			continue
+		}
+		if bestIdx == -1 || e.score > p.pool[bestIdx].score {
+			bestIdx = i
+		}
+	}
+	if bestIdx == -1 {
+		return overlay.NoPeer
+	}
+	chosen := p.pool[bestIdx].ref.ID
+	last := len(p.pool) - 1
+	p.pool[bestIdx] = p.pool[last]
+	p.pool = p.pool[:last]
+	delete(p.inPool, chosen)
+	return chosen
+}

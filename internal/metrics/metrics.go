@@ -1,0 +1,349 @@
+// Package metrics implements the measurement layer of the evaluation:
+// per-age-category event accounting with peer-round denominators
+// (Figures 1 and 2), per-observer cumulative repair series (Figure 3),
+// and per-category cumulative loss-per-peer series (Figure 4).
+//
+// Normalisation: the paper plots "average number ... per 1000 peers"
+// against the repair threshold. The only reading consistent with the
+// observer counts in its Figure 3 is a per-round rate:
+//
+//	rate(category) = events(category) / peerRounds(category) * 1000
+//
+// where peerRounds is the total number of (peer, round) pairs spent in
+// the category. Figure 4's "average number of lost archives per peers"
+// is the integral over rounds of lossesThisRound/populationThisRound,
+// i.e. the expected cumulative losses of a peer that stayed in the
+// category the whole time.
+package metrics
+
+import (
+	"fmt"
+
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/stats"
+)
+
+// Category is a peer age class (the paper's section 4.2.1 table).
+// A peer's category changes as it ages; its profile never does.
+type Category int
+
+// The paper's four age categories.
+const (
+	Newcomer Category = iota // < 3 months
+	Young                    // 3 - 6 months
+	Old                      // 6 - 18 months
+	Elder                    // > 18 months
+	NumCategories
+)
+
+// Category boundaries in rounds (ages at which a peer moves up).
+var categoryBounds = [...]int64{
+	3 * churn.Month,  // Newcomer -> Young
+	6 * churn.Month,  // Young -> Old
+	18 * churn.Month, // Old -> Elder
+}
+
+var categoryNames = [...]string{"newcomer", "young", "old", "elder"}
+
+// String returns the category name.
+func (c Category) String() string {
+	if c >= 0 && int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// CategoryOf classifies an age in rounds.
+func CategoryOf(age int64) Category {
+	switch {
+	case age < categoryBounds[0]:
+		return Newcomer
+	case age < categoryBounds[1]:
+		return Young
+	case age < categoryBounds[2]:
+		return Old
+	default:
+		return Elder
+	}
+}
+
+// CategoryBound returns the age (in rounds) at which category c ends,
+// or -1 for Elder (unbounded).
+func CategoryBound(c Category) int64 {
+	if int(c) < len(categoryBounds) {
+		return categoryBounds[c]
+	}
+	return -1
+}
+
+// CategoryNames returns the four names in order.
+func CategoryNames() []string { return append([]string(nil), categoryNames[:]...) }
+
+// ---------------------------------------------------------------------------
+// Collector
+
+// Counts aggregates event totals for one category.
+type Counts struct {
+	PeerRounds     int64 // denominator: peer-rounds spent in the category
+	Repairs        int64 // maintenance repairs completed
+	InitialBackups int64 // initial d=n uploads completed (also "repairs" per the paper)
+	Outages        int64 // decode outages: archive became unrecoverable from online peers (the paper's "data lost")
+	HardLosses     int64 // archives permanently lost (alive blocks < k)
+	StalledRounds  int64 // rounds spent in a decode outage while the owner was online
+	BlocksUploaded int64 // total blocks uploaded by repairs
+	BlocksDropped  int64 // placements abandoned at repair time (offline partners)
+}
+
+// Collector accumulates the run's measurements. It is not safe for
+// concurrent use; one per simulation run.
+type Collector struct {
+	cats [NumCategories]Counts
+	// profile-indexed totals (repairs, losses) for the stratification
+	// analysis in section 4.2.1.
+	profRepairs []int64
+	profLosses  []int64
+
+	// Figure 4: per-category cumulative losses-per-peer series, sampled
+	// every sampleEvery rounds.
+	lossSeries  [NumCategories]*stats.Series
+	lossAccum   [NumCategories]float64
+	todayLosses [NumCategories]int64
+
+	// Repair-rate time series (diagnostic; same cadence).
+	repairSeries [NumCategories]*stats.Series
+	todayRepairs [NumCategories]int64
+
+	sampleEvery int64
+	warmup      int64 // rounds excluded from rate numerators/denominators
+}
+
+// NewCollector returns a collector for numProfiles profiles, sampling
+// time series every sampleEvery rounds (one day = 24 is the paper's
+// plotting cadence). warmup rounds are excluded from the rate counters
+// (pass 0 to measure everything).
+func NewCollector(numProfiles int, sampleEvery, warmup int64) *Collector {
+	if numProfiles <= 0 || sampleEvery <= 0 || warmup < 0 {
+		panic(fmt.Sprintf("metrics: invalid collector params profiles=%d sample=%d warmup=%d",
+			numProfiles, sampleEvery, warmup))
+	}
+	c := &Collector{
+		profRepairs: make([]int64, numProfiles),
+		profLosses:  make([]int64, numProfiles),
+		sampleEvery: sampleEvery,
+		warmup:      warmup,
+	}
+	for i := range c.lossSeries {
+		c.lossSeries[i] = stats.NewSeries(Category(i).String() + " cumulative losses/peer")
+		c.repairSeries[i] = stats.NewSeries(Category(i).String() + " repairs/peer/day")
+	}
+	return c
+}
+
+// Warmup returns the configured warmup length in rounds.
+func (c *Collector) Warmup() int64 { return c.warmup }
+
+func (c *Collector) measured(round int64) bool { return round >= c.warmup }
+
+// AddPeerRounds adds the per-round denominator: population peers spent
+// this round in category cat.
+func (c *Collector) AddPeerRounds(round int64, cat Category, population int64) {
+	if c.measured(round) {
+		c.cats[cat].PeerRounds += population
+	}
+}
+
+// RecordRepair notes a completed repair by a peer of the given category
+// and profile. initial marks the first upload (d = n); uploaded is the
+// number of blocks uploaded; dropped the placements abandoned.
+func (c *Collector) RecordRepair(round int64, cat Category, profile int, initial bool, uploaded, dropped int) {
+	if !c.measured(round) {
+		return
+	}
+	cc := &c.cats[cat]
+	if initial {
+		cc.InitialBackups++
+	} else {
+		cc.Repairs++
+	}
+	cc.BlocksUploaded += int64(uploaded)
+	cc.BlocksDropped += int64(dropped)
+	c.profRepairs[profile]++
+	c.todayRepairs[cat]++
+}
+
+// RecordOutage notes a decode outage: the archive just became
+// unrecoverable from currently online peers (visible < k). This is the
+// event the paper's figures 2 and 4 count as a lost archive; it also
+// covers every permanent loss, which starts as an outage.
+func (c *Collector) RecordOutage(round int64, cat Category, profile int) {
+	if !c.measured(round) {
+		return
+	}
+	c.cats[cat].Outages++
+	c.profLosses[profile]++
+	c.todayLosses[cat]++
+}
+
+// RecordHardLoss notes a permanently lost archive (alive < k): fewer
+// than k blocks survive on living peers, so no reconnection can bring
+// the data back. The preceding outage has already been counted by
+// RecordOutage.
+func (c *Collector) RecordHardLoss(round int64, cat Category, profile int) {
+	if !c.measured(round) {
+		return
+	}
+	c.cats[cat].HardLosses++
+}
+
+// RecordStall notes a round in which a peer needed repair but could not
+// proceed (not enough visible blocks to decode, or owner offline).
+func (c *Collector) RecordStall(round int64, cat Category) {
+	if !c.measured(round) {
+		return
+	}
+	c.cats[cat].StalledRounds++
+}
+
+// EndRound finalises a round; on sampling boundaries it extends the
+// Figure 4 series. population is the current per-category population.
+func (c *Collector) EndRound(round int64, population [NumCategories]int64) {
+	if (round+1)%c.sampleEvery != 0 {
+		return
+	}
+	day := float64(round+1) / float64(churn.Day)
+	for cat := 0; cat < int(NumCategories); cat++ {
+		if population[cat] > 0 {
+			c.lossAccum[cat] += float64(c.todayLosses[cat]) / float64(population[cat])
+			c.repairSeries[cat].Append(day, float64(c.todayRepairs[cat])/float64(population[cat]))
+		} else {
+			c.repairSeries[cat].Append(day, 0)
+		}
+		c.lossSeries[cat].Append(day, c.lossAccum[cat])
+		c.todayLosses[cat] = 0
+		c.todayRepairs[cat] = 0
+	}
+}
+
+// Counts returns the aggregate counters for a category.
+func (c *Collector) Counts(cat Category) Counts { return c.cats[cat] }
+
+// RatePer1000 returns events per 1000 peer-rounds for the category; the
+// numerator selector picks which counter. Includes initial backups in
+// repairs when includeInitial is set.
+func (c *Collector) RepairRatePer1000(cat Category, includeInitial bool) float64 {
+	cc := c.cats[cat]
+	if cc.PeerRounds == 0 {
+		return 0
+	}
+	num := cc.Repairs
+	if includeInitial {
+		num += cc.InitialBackups
+	}
+	return float64(num) / float64(cc.PeerRounds) * 1000
+}
+
+// LossRatePer1000 returns lost archives (decode outages, the paper's
+// "data lost") per 1000 peer-rounds.
+func (c *Collector) LossRatePer1000(cat Category) float64 {
+	cc := c.cats[cat]
+	if cc.PeerRounds == 0 {
+		return 0
+	}
+	return float64(cc.Outages) / float64(cc.PeerRounds) * 1000
+}
+
+// HardLossRatePer1000 returns permanently lost archives per 1000
+// peer-rounds.
+func (c *Collector) HardLossRatePer1000(cat Category) float64 {
+	cc := c.cats[cat]
+	if cc.PeerRounds == 0 {
+		return 0
+	}
+	return float64(cc.HardLosses) / float64(cc.PeerRounds) * 1000
+}
+
+// ProfileRepairs returns total repairs per profile index.
+func (c *Collector) ProfileRepairs() []int64 {
+	return append([]int64(nil), c.profRepairs...)
+}
+
+// ProfileLosses returns total losses per profile index.
+func (c *Collector) ProfileLosses() []int64 {
+	return append([]int64(nil), c.profLosses...)
+}
+
+// LossSeries returns the Figure 4 series for a category: cumulative
+// expected losses per peer, sampled daily.
+func (c *Collector) LossSeries(cat Category) *stats.Series { return c.lossSeries[cat] }
+
+// RepairSeries returns the per-day repairs-per-peer series (diagnostic).
+func (c *Collector) RepairSeries(cat Category) *stats.Series { return c.repairSeries[cat] }
+
+// TotalRepairs sums maintenance repairs over all categories.
+func (c *Collector) TotalRepairs() int64 {
+	var t int64
+	for i := range c.cats {
+		t += c.cats[i].Repairs
+	}
+	return t
+}
+
+// TotalLosses sums lost archives (decode outages) over all categories.
+func (c *Collector) TotalLosses() int64 {
+	var t int64
+	for i := range c.cats {
+		t += c.cats[i].Outages
+	}
+	return t
+}
+
+// TotalHardLosses sums permanent losses over all categories.
+func (c *Collector) TotalHardLosses() int64 {
+	var t int64
+	for i := range c.cats {
+		t += c.cats[i].HardLosses
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Observer tracking (Figure 3)
+
+// ObserverTracker records cumulative repairs for the paper's fixed-age
+// observer peers.
+type ObserverTracker struct {
+	names  []string
+	counts []int64
+	series []*stats.Series
+}
+
+// NewObserverTracker returns a tracker for the named observers.
+func NewObserverTracker(names []string) *ObserverTracker {
+	t := &ObserverTracker{
+		names:  append([]string(nil), names...),
+		counts: make([]int64, len(names)),
+		series: make([]*stats.Series, len(names)),
+	}
+	for i, n := range names {
+		t.series[i] = stats.NewSeries(n + " cumulative repairs")
+	}
+	return t
+}
+
+// RecordRepair notes one repair by observer idx at the given round.
+func (t *ObserverTracker) RecordRepair(round int64, idx int) {
+	t.counts[idx]++
+	t.series[idx].Append(float64(round)/float64(churn.Day), float64(t.counts[idx]))
+}
+
+// Count returns observer idx's total repairs.
+func (t *ObserverTracker) Count(idx int) int64 { return t.counts[idx] }
+
+// Series returns observer idx's cumulative repair series (x in days).
+func (t *ObserverTracker) Series(idx int) *stats.Series { return t.series[idx] }
+
+// Names returns the observer names.
+func (t *ObserverTracker) Names() []string { return append([]string(nil), t.names...) }
+
+// Len returns the number of observers.
+func (t *ObserverTracker) Len() int { return len(t.names) }

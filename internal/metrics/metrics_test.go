@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"testing"
+
+	"p2pbackup/internal/churn"
+)
+
+func TestCategoryBounds(t *testing.T) {
+	// Pins the paper's age-category table (T4 in DESIGN.md).
+	cases := []struct {
+		age  int64
+		want Category
+	}{
+		{0, Newcomer},
+		{3*churn.Month - 1, Newcomer},
+		{3 * churn.Month, Young},
+		{6*churn.Month - 1, Young},
+		{6 * churn.Month, Old},
+		{18*churn.Month - 1, Old},
+		{18 * churn.Month, Elder},
+		{10 * churn.Year, Elder},
+	}
+	for _, c := range cases {
+		if got := CategoryOf(c.age); got != c.want {
+			t.Errorf("CategoryOf(%d) = %v, want %v", c.age, got, c.want)
+		}
+	}
+	if CategoryBound(Newcomer) != 3*churn.Month ||
+		CategoryBound(Young) != 6*churn.Month ||
+		CategoryBound(Old) != 18*churn.Month {
+		t.Fatal("category bounds wrong")
+	}
+	if CategoryBound(Elder) != -1 {
+		t.Fatal("Elder must be unbounded")
+	}
+	if NumCategories != 4 {
+		t.Fatal("the paper has four categories")
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	want := []string{"newcomer", "young", "old", "elder"}
+	got := CategoryNames()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v", got)
+		}
+	}
+	if Newcomer.String() != "newcomer" || Elder.String() != "elder" {
+		t.Fatal("String() wrong")
+	}
+	if Category(9).String() == "" {
+		t.Fatal("unknown category must format")
+	}
+}
+
+func TestCollectorRates(t *testing.T) {
+	c := NewCollector(4, churn.Day, 0)
+	// 2000 peer-rounds as newcomer, 4 repairs -> 2 per 1000.
+	for r := int64(0); r < 20; r++ {
+		c.AddPeerRounds(r, Newcomer, 100)
+	}
+	for i := 0; i < 4; i++ {
+		c.RecordRepair(5, Newcomer, 0, false, 10, 2)
+	}
+	c.RecordRepair(6, Newcomer, 1, true, 256, 0) // initial
+	if got := c.RepairRatePer1000(Newcomer, false); got != 2 {
+		t.Fatalf("repair rate = %v, want 2", got)
+	}
+	if got := c.RepairRatePer1000(Newcomer, true); got != 2.5 {
+		t.Fatalf("repair rate with initial = %v, want 2.5", got)
+	}
+	c.RecordOutage(7, Newcomer, 0)
+	if got := c.LossRatePer1000(Newcomer); got != 0.5 {
+		t.Fatalf("loss rate = %v, want 0.5", got)
+	}
+	// Empty categories divide safely.
+	if c.RepairRatePer1000(Elder, true) != 0 || c.LossRatePer1000(Elder) != 0 {
+		t.Fatal("empty category rates must be 0")
+	}
+	cc := c.Counts(Newcomer)
+	if cc.Repairs != 4 || cc.InitialBackups != 1 || cc.Outages != 1 ||
+		cc.BlocksUploaded != 4*10+256 || cc.BlocksDropped != 8 {
+		t.Fatalf("counts = %+v", cc)
+	}
+	if c.TotalRepairs() != 4 || c.TotalLosses() != 1 {
+		t.Fatal("totals wrong")
+	}
+}
+
+func TestCollectorWarmupExcluded(t *testing.T) {
+	c := NewCollector(1, churn.Day, 100)
+	if c.Warmup() != 100 {
+		t.Fatal("warmup accessor wrong")
+	}
+	c.AddPeerRounds(50, Young, 10)  // during warmup: ignored
+	c.AddPeerRounds(150, Young, 10) // measured
+	c.RecordRepair(50, Young, 0, false, 1, 0)
+	c.RecordRepair(150, Young, 0, false, 1, 0)
+	c.RecordOutage(99, Young, 0)
+	c.RecordHardLoss(99, Young, 0)
+	c.RecordStall(10, Young)
+	cc := c.Counts(Young)
+	if cc.PeerRounds != 10 || cc.Repairs != 1 || cc.Outages != 0 || cc.HardLosses != 0 || cc.StalledRounds != 0 {
+		t.Fatalf("warmup leaked into counts: %+v", cc)
+	}
+}
+
+func TestCollectorProfileTotals(t *testing.T) {
+	c := NewCollector(3, churn.Day, 0)
+	c.RecordRepair(0, Old, 2, false, 1, 0)
+	c.RecordRepair(0, Old, 2, false, 1, 0)
+	c.RecordOutage(0, Old, 1)
+	if got := c.ProfileRepairs(); got[2] != 2 || got[0] != 0 {
+		t.Fatalf("profile repairs = %v", got)
+	}
+	if got := c.ProfileLosses(); got[1] != 1 {
+		t.Fatalf("profile losses = %v", got)
+	}
+}
+
+func TestCollectorSeries(t *testing.T) {
+	c := NewCollector(1, churn.Day, 0)
+	var pop [NumCategories]int64
+	pop[Newcomer] = 10
+	// Day 1: 5 losses over 10 peers -> 0.5 cumulative.
+	for r := int64(0); r < churn.Day; r++ {
+		if r == 3 {
+			for i := 0; i < 5; i++ {
+				c.RecordOutage(r, Newcomer, 0)
+			}
+		}
+		c.EndRound(r, pop)
+	}
+	// Day 2: 10 more losses -> 1.5 cumulative.
+	for r := int64(churn.Day); r < 2*churn.Day; r++ {
+		if r == churn.Day+1 {
+			for i := 0; i < 10; i++ {
+				c.RecordOutage(r, Newcomer, 0)
+			}
+		}
+		c.EndRound(r, pop)
+	}
+	s := c.LossSeries(Newcomer)
+	if s.Len() != 2 {
+		t.Fatalf("series has %d points, want 2", s.Len())
+	}
+	if x, y := s.At(0); x != 1 || y != 0.5 {
+		t.Fatalf("day 1 = (%v, %v), want (1, 0.5)", x, y)
+	}
+	if x, y := s.At(1); x != 2 || y != 1.5 {
+		t.Fatalf("day 2 = (%v, %v), want (2, 1.5)", x, y)
+	}
+	// Repair series exists and has matching cadence.
+	if c.RepairSeries(Newcomer).Len() != 2 {
+		t.Fatal("repair series cadence wrong")
+	}
+	// Zero-population categories do not accumulate.
+	if _, y := c.LossSeries(Elder).At(1); y != 0 {
+		t.Fatal("empty category accumulated losses")
+	}
+}
+
+func TestCollectorPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCollector(0, 1, 0) },
+		func() { NewCollector(1, 0, 0) },
+		func() { NewCollector(1, 1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid collector params must panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestObserverTracker(t *testing.T) {
+	// Pins the paper's observer table (T5 in DESIGN.md).
+	names := []string{"elder", "senior", "adult", "teenager", "baby"}
+	tr := NewObserverTracker(names)
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tr.RecordRepair(24, 4)
+	tr.RecordRepair(48, 4)
+	tr.RecordRepair(24, 0)
+	if tr.Count(4) != 2 || tr.Count(0) != 1 || tr.Count(1) != 0 {
+		t.Fatal("counts wrong")
+	}
+	s := tr.Series(4)
+	if s.Len() != 2 {
+		t.Fatalf("series len = %d", s.Len())
+	}
+	if x, y := s.At(1); x != 2 || y != 2 {
+		t.Fatalf("series point = (%v, %v), want (2, 2)", x, y)
+	}
+	got := tr.Names()
+	for i := range names {
+		if got[i] != names[i] {
+			t.Fatalf("names = %v", got)
+		}
+	}
+}

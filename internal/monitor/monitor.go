@@ -1,0 +1,264 @@
+// Package monitor tracks peer availability history, standing in for the
+// secure monitoring protocols the paper assumes (its refs [17] AVMON and
+// [14] Pacemaker): "any peer can query the availability of any other
+// peer for a given period of time, for example the last 90 days".
+//
+// Two representations are provided:
+//
+//   - BitHistory: one bit per round in a ring buffer - exact, O(1)
+//     per-round recording, fixed memory. Used by the live node, which
+//     probes partners every round.
+//   - IntervalHistory: stores only state transitions - O(1) per session
+//     change, ideal for the simulator where transitions are the rare
+//     events. Window queries cost O(transitions in window).
+//
+// Both answer the same queries; tests verify they agree on random
+// schedules.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrOutOfOrder reports a record at a round earlier than already seen.
+var ErrOutOfOrder = errors.New("monitor: record out of order")
+
+// ---------------------------------------------------------------------------
+// BitHistory
+
+// BitHistory stores one online/offline bit per round over a sliding
+// window.
+type BitHistory struct {
+	window int
+	words  []uint64
+	// next is the round the next Record call must carry.
+	next int64
+	// recorded is min(total records, window).
+	recorded int
+	// start is the first round ever recorded.
+	start int64
+	began bool
+}
+
+// NewBitHistory returns a history covering the last window rounds.
+func NewBitHistory(window int) *BitHistory {
+	if window <= 0 {
+		panic(fmt.Sprintf("monitor: invalid window %d", window))
+	}
+	return &BitHistory{window: window, words: make([]uint64, (window+63)/64)}
+}
+
+// Window returns the configured window length.
+func (h *BitHistory) Window() int { return h.window }
+
+// Record appends the peer's state for the given round. Rounds must be
+// recorded consecutively starting from the first call.
+func (h *BitHistory) Record(round int64, online bool) error {
+	if !h.began {
+		h.began = true
+		h.start = round
+		h.next = round
+	}
+	if round != h.next {
+		return fmt.Errorf("%w: got round %d, want %d", ErrOutOfOrder, round, h.next)
+	}
+	idx := int(round % int64(h.window))
+	word, bit := idx/64, uint(idx%64)
+	if online {
+		h.words[word] |= 1 << bit
+	} else {
+		h.words[word] &^= 1 << bit
+	}
+	h.next++
+	if h.recorded < h.window {
+		h.recorded++
+	}
+	return nil
+}
+
+// Recorded returns how many rounds currently back the window (at most
+// Window).
+func (h *BitHistory) Recorded() int { return h.recorded }
+
+// ObservedSince returns the first recorded round; ok is false if
+// nothing was recorded yet.
+func (h *BitHistory) ObservedSince() (round int64, ok bool) {
+	return h.start, h.began
+}
+
+// OnlineAt reports the recorded state for a round inside the window.
+func (h *BitHistory) OnlineAt(round int64) (online, known bool) {
+	if !h.began || round >= h.next || round < h.next-int64(h.recorded) {
+		return false, false
+	}
+	idx := int(round % int64(h.window))
+	return h.words[idx/64]>>(uint(idx%64))&1 == 1, true
+}
+
+// Uptime returns the fraction of recorded rounds spent online over the
+// last n rounds (n clamped to the recorded span). Zero when nothing is
+// recorded.
+func (h *BitHistory) Uptime(n int) float64 {
+	if n <= 0 || h.recorded == 0 {
+		return 0
+	}
+	if n > h.recorded {
+		n = h.recorded
+	}
+	on := 0
+	for round := h.next - int64(n); round < h.next; round++ {
+		idx := int(round % int64(h.window))
+		if h.words[idx/64]>>(uint(idx%64))&1 == 1 {
+			on++
+		}
+	}
+	return float64(on) / float64(n)
+}
+
+// FullWindowUptime returns the online fraction over the whole recorded
+// window using word-level popcounts (fast path for full-window queries).
+func (h *BitHistory) FullWindowUptime() float64 {
+	if h.recorded == 0 {
+		return 0
+	}
+	if h.recorded < h.window {
+		return h.Uptime(h.recorded)
+	}
+	on := 0
+	for _, w := range h.words {
+		on += bits.OnesCount64(w)
+	}
+	// Bits beyond window size in the final word are never set.
+	return float64(on) / float64(h.window)
+}
+
+// ---------------------------------------------------------------------------
+// IntervalHistory
+
+// transition is a state change at a round.
+type transition struct {
+	round  int64
+	online bool
+}
+
+// IntervalHistory stores availability as state transitions, pruned to a
+// window. Recording is O(1) amortised; queries walk the (short) list.
+type IntervalHistory struct {
+	window int64
+	trans  []transition
+	began  bool
+	start  int64
+}
+
+// NewIntervalHistory returns a history answering queries over the last
+// window rounds.
+func NewIntervalHistory(window int64) *IntervalHistory {
+	if window <= 0 {
+		panic(fmt.Sprintf("monitor: invalid window %d", window))
+	}
+	return &IntervalHistory{window: window}
+}
+
+// RecordTransition notes that the peer's state changed to online at the
+// given round (i.e. it is online from this round onward until the next
+// transition). The first call establishes the initial state.
+func (h *IntervalHistory) RecordTransition(round int64, online bool) error {
+	if h.began {
+		last := h.trans[len(h.trans)-1]
+		if round < last.round {
+			return fmt.Errorf("%w: transition at %d after %d", ErrOutOfOrder, round, last.round)
+		}
+		if last.online == online {
+			return nil // redundant transition; ignore
+		}
+		if round == last.round {
+			// Replace same-round flip.
+			h.trans[len(h.trans)-1].online = online
+			return nil
+		}
+	} else {
+		h.began = true
+		h.start = round
+	}
+	h.trans = append(h.trans, transition{round: round, online: online})
+	return nil
+}
+
+// prune discards transitions that end before now-window, keeping the
+// one that defines the state at the window start.
+func (h *IntervalHistory) prune(now int64) {
+	cutoff := now - h.window
+	keep := 0
+	for keep+1 < len(h.trans) && h.trans[keep+1].round <= cutoff {
+		keep++
+	}
+	if keep > 0 {
+		h.trans = h.trans[keep:]
+	}
+}
+
+// ObservedSince returns the first transition round.
+func (h *IntervalHistory) ObservedSince() (round int64, ok bool) {
+	return h.start, h.began
+}
+
+// Uptime returns the online fraction over [now-n, now), clamped to the
+// observed span. now is exclusive.
+func (h *IntervalHistory) Uptime(now int64, n int64) float64 {
+	if !h.began || n <= 0 {
+		return 0
+	}
+	if n > h.window {
+		n = h.window
+	}
+	from := now - n
+	if from < h.start {
+		from = h.start
+	}
+	if from >= now {
+		return 0
+	}
+	h.prune(now)
+	var online int64
+	for i, tr := range h.trans {
+		if !tr.online {
+			continue
+		}
+		lo := tr.round
+		if lo < from {
+			lo = from
+		}
+		hi := now
+		if i+1 < len(h.trans) && h.trans[i+1].round < hi {
+			hi = h.trans[i+1].round
+		}
+		if hi > lo {
+			online += hi - lo
+		}
+	}
+	return float64(online) / float64(now-from)
+}
+
+// OnlineAt reports the state at a given round, if observed.
+func (h *IntervalHistory) OnlineAt(round int64) (online, known bool) {
+	if !h.began || round < h.start {
+		return false, false
+	}
+	state := false
+	found := false
+	for _, tr := range h.trans {
+		if tr.round <= round {
+			state = tr.online
+			found = true
+		} else {
+			break
+		}
+	}
+	return state, found
+}
+
+// Transitions returns the number of stored transitions (after pruning
+// at the last query); exposed for tests and memory accounting.
+func (h *IntervalHistory) Transitions() int { return len(h.trans) }

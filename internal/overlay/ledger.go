@@ -1,0 +1,415 @@
+// Package overlay maintains the simulator's bookkeeping of who stores
+// blocks for whom: a doubly-indexed adjacency between block owners and
+// block hosts with O(1) placement and removal, incremental visible/alive
+// counters, quota accounting, and generation-stamped peer references.
+//
+// This is the PeerSim-equivalent substrate: with 25,000 peers each
+// placing 256 blocks, the naive "every peer scans its partner list every
+// round" costs billions of operations; instead the Ledger updates each
+// owner's visible-block counter only when one of its hosts changes
+// session state or dies, making the per-round cost proportional to the
+// number of churn events.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PeerID indexes a peer slot. The population is fixed; a departing peer
+// is immediately replaced in the same slot (the paper's model), with the
+// slot's generation bumped to invalidate stale references.
+type PeerID int32
+
+// NoPeer is the invalid peer id.
+const NoPeer PeerID = -1
+
+// Placement errors.
+var (
+	ErrQuotaFull    = errors.New("overlay: host quota exhausted")
+	ErrSelfStore    = errors.New("overlay: a peer cannot host its own block")
+	ErrDuplicate    = errors.New("overlay: host already stores a block for this owner")
+	ErrBadPeer      = errors.New("overlay: peer id out of range")
+	ErrBadPlacement = errors.New("overlay: placement index out of range")
+)
+
+// placement is one block stored by owner on host, with the index of the
+// mirror entry in the host's reverse list. unmetered marks observer
+// placements that do not consume the host's quota.
+type placement struct {
+	host      PeerID
+	hostIdx   int32
+	unmetered bool
+}
+
+// hostEntry mirrors a placement from the host's perspective.
+type hostEntry struct {
+	owner    PeerID
+	ownerIdx int32
+}
+
+// Ledger tracks all block placements. It is not safe for concurrent
+// use; each simulation run owns one Ledger.
+type Ledger struct {
+	fwd     [][]placement // per owner: where its blocks are
+	rev     [][]hostEntry // per host: whose blocks it stores
+	metered []int32       // per host: quota-consuming blocks stored
+	visible []int32       // per owner: blocks on online hosts
+	online  []bool        // per host: current session state
+	quota   int32
+	strict  bool
+}
+
+// NewLedger returns a ledger for n peer slots with the given per-host
+// block quota (the paper's quota is 384). All peers start online with
+// no placements.
+func NewLedger(n int, quota int32) *Ledger {
+	if n <= 0 || quota <= 0 {
+		panic(fmt.Sprintf("overlay: invalid ledger size n=%d quota=%d", n, quota))
+	}
+	l := &Ledger{
+		fwd:     make([][]placement, n),
+		rev:     make([][]hostEntry, n),
+		metered: make([]int32, n),
+		visible: make([]int32, n),
+		online:  make([]bool, n),
+		quota:   quota,
+	}
+	for i := range l.online {
+		l.online[i] = true
+	}
+	return l
+}
+
+// SetStrict enables O(degree) duplicate checking on Place. Tests use
+// it; production runs rely on the maintenance layer's candidate
+// filtering instead.
+func (l *Ledger) SetStrict(strict bool) { l.strict = strict }
+
+// NumPeers returns the number of peer slots.
+func (l *Ledger) NumPeers() int { return len(l.fwd) }
+
+// Quota returns the per-host block quota.
+func (l *Ledger) Quota() int32 { return l.quota }
+
+func (l *Ledger) check(id PeerID) error {
+	if id < 0 || int(id) >= len(l.fwd) {
+		return fmt.Errorf("%w: %d", ErrBadPeer, id)
+	}
+	return nil
+}
+
+// Place records that host stores one block for owner. It fails if the
+// host's quota is exhausted or owner == host. With SetStrict(true) it
+// also rejects duplicate (owner, host) pairs.
+func (l *Ledger) Place(owner, host PeerID) error {
+	return l.place(owner, host, false)
+}
+
+// PlaceUnmetered is Place without quota accounting on the host, used by
+// observer peers (the paper's observers "do not consume the quota").
+func (l *Ledger) PlaceUnmetered(owner, host PeerID) error {
+	return l.place(owner, host, true)
+}
+
+func (l *Ledger) place(owner, host PeerID, unmetered bool) error {
+	if err := l.check(owner); err != nil {
+		return err
+	}
+	if err := l.check(host); err != nil {
+		return err
+	}
+	if owner == host {
+		return ErrSelfStore
+	}
+	if l.strict && l.HasPlacement(owner, host) {
+		return ErrDuplicate
+	}
+	if !unmetered && l.metered[host] >= l.quota {
+		return ErrQuotaFull
+	}
+	fwdIdx := int32(len(l.fwd[owner]))
+	revIdx := int32(len(l.rev[host]))
+	l.fwd[owner] = append(l.fwd[owner], placement{host: host, hostIdx: revIdx, unmetered: unmetered})
+	l.rev[host] = append(l.rev[host], hostEntry{owner: owner, ownerIdx: fwdIdx})
+	if !unmetered {
+		l.metered[host]++
+	}
+	if l.online[host] {
+		l.visible[owner]++
+	}
+	return nil
+}
+
+// HasPlacement reports whether host already stores a block for owner
+// (O(owner degree)).
+func (l *Ledger) HasPlacement(owner, host PeerID) bool {
+	if l.check(owner) != nil || l.check(host) != nil {
+		return false
+	}
+	for _, p := range l.fwd[owner] {
+		if p.host == host {
+			return true
+		}
+	}
+	return false
+}
+
+// removeFwdAt removes owner's placement at index idx by swap-remove,
+// backpatching the reverse entry of the moved placement.
+func (l *Ledger) removeFwdAt(owner PeerID, idx int32) {
+	list := l.fwd[owner]
+	last := int32(len(list) - 1)
+	if idx != last {
+		moved := list[last]
+		list[idx] = moved
+		l.rev[moved.host][moved.hostIdx].ownerIdx = idx
+	}
+	l.fwd[owner] = list[:last]
+}
+
+// removeRevAt removes host's entry at index idx by swap-remove,
+// backpatching the forward entry of the moved placement.
+func (l *Ledger) removeRevAt(host PeerID, idx int32) {
+	list := l.rev[host]
+	last := int32(len(list) - 1)
+	if idx != last {
+		moved := list[last]
+		list[idx] = moved
+		l.fwd[moved.owner][moved.ownerIdx].hostIdx = idx
+	}
+	l.rev[host] = list[:last]
+}
+
+// DropPlacementAt removes owner's placement at index idx (as exposed by
+// Placements), freeing the host's quota. Used when a repair abandons an
+// offline partner.
+func (l *Ledger) DropPlacementAt(owner PeerID, idx int) error {
+	if err := l.check(owner); err != nil {
+		return err
+	}
+	if idx < 0 || idx >= len(l.fwd[owner]) {
+		return fmt.Errorf("%w: owner %d idx %d", ErrBadPlacement, owner, idx)
+	}
+	p := l.fwd[owner][idx]
+	l.removeRevAt(p.host, p.hostIdx)
+	l.removeFwdAt(owner, int32(idx))
+	if !p.unmetered {
+		l.metered[p.host]--
+	}
+	if l.online[p.host] {
+		l.visible[owner]--
+	}
+	return nil
+}
+
+// SetOnline flips a host's session state, updating every affected
+// owner's visible counter. Cost: O(blocks hosted).
+func (l *Ledger) SetOnline(host PeerID, online bool) {
+	if l.check(host) != nil {
+		return
+	}
+	if l.online[host] == online {
+		return
+	}
+	l.online[host] = online
+	delta := int32(1)
+	if !online {
+		delta = -1
+	}
+	for _, e := range l.rev[host] {
+		l.visible[e.owner] += delta
+	}
+}
+
+// Online reports a host's session state.
+func (l *Ledger) Online(host PeerID) bool {
+	if l.check(host) != nil {
+		return false
+	}
+	return l.online[host]
+}
+
+// RemoveHost deletes every block the host stores (its disk vanished):
+// each affected owner loses one alive (and possibly visible) block.
+// The host keeps its own placements as an owner. Cost: O(blocks hosted).
+func (l *Ledger) RemoveHost(host PeerID) {
+	if l.check(host) != nil {
+		return
+	}
+	wasOnline := l.online[host]
+	for _, e := range l.rev[host] {
+		l.removeFwdAt(e.owner, e.ownerIdx)
+		if wasOnline {
+			l.visible[e.owner]--
+		}
+	}
+	l.rev[host] = l.rev[host][:0]
+	l.metered[host] = 0
+}
+
+// DropOwner deletes every placement the owner made (its archive is
+// gone), freeing quota on all its hosts. Cost: O(owner degree).
+func (l *Ledger) DropOwner(owner PeerID) {
+	if l.check(owner) != nil {
+		return
+	}
+	for _, p := range l.fwd[owner] {
+		l.removeRevAt(p.host, p.hostIdx)
+		if !p.unmetered {
+			l.metered[p.host]--
+		}
+	}
+	l.fwd[owner] = l.fwd[owner][:0]
+	l.visible[owner] = 0
+}
+
+// RemovePeer handles a peer's death: its hosted blocks disappear and
+// its own archive placements are released. The slot can then be reused
+// by a fresh peer.
+func (l *Ledger) RemovePeer(id PeerID) {
+	l.RemoveHost(id)
+	l.DropOwner(id)
+}
+
+// Alive returns the number of blocks owner has placed on living hosts.
+// (Dead hosts' placements are removed eagerly, so this is the owner's
+// current degree.)
+func (l *Ledger) Alive(owner PeerID) int {
+	if l.check(owner) != nil {
+		return 0
+	}
+	return len(l.fwd[owner])
+}
+
+// Visible returns the number of owner's blocks on hosts that are both
+// alive and online - the quantity the repair threshold is compared
+// against.
+func (l *Ledger) Visible(owner PeerID) int {
+	if l.check(owner) != nil {
+		return 0
+	}
+	return int(l.visible[owner])
+}
+
+// Hosted returns the number of blocks the host currently stores,
+// including unmetered observer blocks.
+func (l *Ledger) Hosted(host PeerID) int {
+	if l.check(host) != nil {
+		return 0
+	}
+	return len(l.rev[host])
+}
+
+// MeteredHosted returns the quota-consuming blocks the host stores.
+func (l *Ledger) MeteredHosted(host PeerID) int {
+	if l.check(host) != nil {
+		return 0
+	}
+	return int(l.metered[host])
+}
+
+// FreeQuota returns how many more metered blocks the host can accept.
+func (l *Ledger) FreeQuota(host PeerID) int {
+	if l.check(host) != nil {
+		return 0
+	}
+	f := int(l.quota - l.metered[host])
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Hosts returns the hosts of owner's placements, appended to buf (reuse
+// buf across calls to avoid allocation).
+func (l *Ledger) Hosts(owner PeerID, buf []PeerID) []PeerID {
+	if l.check(owner) != nil {
+		return buf
+	}
+	for _, p := range l.fwd[owner] {
+		buf = append(buf, p.host)
+	}
+	return buf
+}
+
+// HostAt returns the host of owner's idx-th placement.
+func (l *Ledger) HostAt(owner PeerID, idx int) (PeerID, error) {
+	if err := l.check(owner); err != nil {
+		return NoPeer, err
+	}
+	if idx < 0 || idx >= len(l.fwd[owner]) {
+		return NoPeer, fmt.Errorf("%w: owner %d idx %d", ErrBadPlacement, owner, idx)
+	}
+	return l.fwd[owner][idx].host, nil
+}
+
+// Owners returns the owners of blocks the host stores, appended to buf.
+func (l *Ledger) Owners(host PeerID, buf []PeerID) []PeerID {
+	if l.check(host) != nil {
+		return buf
+	}
+	for _, e := range l.rev[host] {
+		buf = append(buf, e.owner)
+	}
+	return buf
+}
+
+// TotalPlacements returns the number of (owner, host) placements in the
+// system.
+func (l *Ledger) TotalPlacements() int {
+	total := 0
+	for _, f := range l.fwd {
+		total += len(f)
+	}
+	return total
+}
+
+// CheckConsistency exhaustively verifies the cross-indexes and counters
+// against a brute-force recount. Tests call it after random operation
+// sequences; it is O(total placements).
+func (l *Ledger) CheckConsistency() error {
+	meterRecount := make([]int32, len(l.rev))
+	for owner := range l.fwd {
+		vis := int32(0)
+		for i, p := range l.fwd[owner] {
+			if err := l.check(p.host); err != nil {
+				return fmt.Errorf("owner %d placement %d: %w", owner, i, err)
+			}
+			if int(p.hostIdx) >= len(l.rev[p.host]) {
+				return fmt.Errorf("owner %d placement %d: hostIdx %d out of range", owner, i, p.hostIdx)
+			}
+			mirror := l.rev[p.host][p.hostIdx]
+			if mirror.owner != PeerID(owner) || int(mirror.ownerIdx) != i {
+				return fmt.Errorf("owner %d placement %d: mirror mismatch (%d,%d)", owner, i, mirror.owner, mirror.ownerIdx)
+			}
+			if l.online[p.host] {
+				vis++
+			}
+			if !p.unmetered {
+				meterRecount[p.host]++
+			}
+		}
+		if vis != l.visible[owner] {
+			return fmt.Errorf("owner %d: visible counter %d, recount %d", owner, l.visible[owner], vis)
+		}
+	}
+	for host := range l.rev {
+		if meterRecount[host] != l.metered[host] {
+			return fmt.Errorf("host %d: metered counter %d, recount %d", host, l.metered[host], meterRecount[host])
+		}
+		for i, e := range l.rev[host] {
+			if err := l.check(e.owner); err != nil {
+				return fmt.Errorf("host %d entry %d: %w", host, i, err)
+			}
+			if int(e.ownerIdx) >= len(l.fwd[e.owner]) {
+				return fmt.Errorf("host %d entry %d: ownerIdx %d out of range", host, i, e.ownerIdx)
+			}
+			mirror := l.fwd[e.owner][e.ownerIdx]
+			if mirror.host != PeerID(host) || int(mirror.hostIdx) != i {
+				return fmt.Errorf("host %d entry %d: mirror mismatch (%d,%d)", host, i, mirror.host, mirror.hostIdx)
+			}
+		}
+	}
+	return nil
+}

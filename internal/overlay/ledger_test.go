@@ -1,0 +1,373 @@
+package overlay
+
+import (
+	"errors"
+	"testing"
+
+	"p2pbackup/internal/rng"
+)
+
+func mustPlace(t *testing.T, l *Ledger, owner, host PeerID) {
+	t.Helper()
+	if err := l.Place(owner, host); err != nil {
+		t.Fatalf("Place(%d, %d): %v", owner, host, err)
+	}
+}
+
+func TestPlaceBasics(t *testing.T) {
+	l := NewLedger(4, 2)
+	l.SetStrict(true)
+	mustPlace(t, l, 0, 1)
+	mustPlace(t, l, 0, 2)
+	if l.Alive(0) != 2 || l.Visible(0) != 2 {
+		t.Fatalf("alive/visible = %d/%d, want 2/2", l.Alive(0), l.Visible(0))
+	}
+	if l.Hosted(1) != 1 || l.Hosted(2) != 1 {
+		t.Fatal("host counts wrong")
+	}
+	if !l.HasPlacement(0, 1) || l.HasPlacement(0, 3) {
+		t.Fatal("HasPlacement wrong")
+	}
+	if err := l.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	l := NewLedger(3, 1)
+	l.SetStrict(true)
+	if err := l.Place(0, 0); !errors.Is(err, ErrSelfStore) {
+		t.Fatalf("self store: %v", err)
+	}
+	if err := l.Place(-1, 0); !errors.Is(err, ErrBadPeer) {
+		t.Fatalf("bad owner: %v", err)
+	}
+	if err := l.Place(0, 5); !errors.Is(err, ErrBadPeer) {
+		t.Fatalf("bad host: %v", err)
+	}
+	mustPlace(t, l, 0, 1)
+	if err := l.Place(0, 1); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := l.Place(2, 1); !errors.Is(err, ErrQuotaFull) {
+		t.Fatalf("quota: %v", err)
+	}
+	if l.FreeQuota(1) != 0 || l.FreeQuota(2) != 1 {
+		t.Fatal("FreeQuota wrong")
+	}
+}
+
+func TestVisibilityTracking(t *testing.T) {
+	l := NewLedger(5, 10)
+	mustPlace(t, l, 0, 1)
+	mustPlace(t, l, 0, 2)
+	mustPlace(t, l, 0, 3)
+	l.SetOnline(2, false)
+	if l.Visible(0) != 2 || l.Alive(0) != 3 {
+		t.Fatalf("after offline: visible/alive = %d/%d, want 2/3", l.Visible(0), l.Alive(0))
+	}
+	l.SetOnline(2, false) // idempotent
+	if l.Visible(0) != 2 {
+		t.Fatal("double offline must be a no-op")
+	}
+	l.SetOnline(2, true)
+	if l.Visible(0) != 3 {
+		t.Fatal("back online must restore visibility")
+	}
+	if !l.Online(1) {
+		t.Fatal("default state must be online")
+	}
+	// Placement on an offline host is alive but not visible.
+	l.SetOnline(4, false)
+	mustPlace(t, l, 0, 4)
+	if l.Visible(0) != 3 || l.Alive(0) != 4 {
+		t.Fatalf("offline placement: visible/alive = %d/%d, want 3/4", l.Visible(0), l.Alive(0))
+	}
+	if err := l.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveHost(t *testing.T) {
+	l := NewLedger(4, 10)
+	mustPlace(t, l, 0, 2)
+	mustPlace(t, l, 1, 2)
+	mustPlace(t, l, 0, 3)
+	l.RemoveHost(2)
+	if l.Alive(0) != 1 || l.Alive(1) != 0 {
+		t.Fatalf("alive after host death = %d/%d, want 1/0", l.Alive(0), l.Alive(1))
+	}
+	if l.Visible(0) != 1 || l.Visible(1) != 0 {
+		t.Fatal("visible after host death wrong")
+	}
+	if l.Hosted(2) != 0 {
+		t.Fatal("dead host still hosts blocks")
+	}
+	if err := l.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Offline host death must not double-decrement visible.
+	mustPlace(t, l, 0, 1)
+	l.SetOnline(1, false)
+	vis := l.Visible(0)
+	l.RemoveHost(1)
+	if l.Visible(0) != vis {
+		t.Fatalf("visible changed by offline host death: %d -> %d", vis, l.Visible(0))
+	}
+	if err := l.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropOwner(t *testing.T) {
+	l := NewLedger(4, 10)
+	mustPlace(t, l, 0, 1)
+	mustPlace(t, l, 0, 2)
+	mustPlace(t, l, 3, 1)
+	l.DropOwner(0)
+	if l.Alive(0) != 0 || l.Visible(0) != 0 {
+		t.Fatal("owner still has placements")
+	}
+	if l.Hosted(1) != 1 {
+		t.Fatalf("host 1 stores %d, want 1 (peer 3's block)", l.Hosted(1))
+	}
+	if l.Hosted(2) != 0 {
+		t.Fatal("host 2 quota not freed")
+	}
+	if err := l.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemovePeer(t *testing.T) {
+	l := NewLedger(4, 10)
+	mustPlace(t, l, 0, 1) // 0 owns a block on 1
+	mustPlace(t, l, 1, 0) // 1 owns a block on 0
+	mustPlace(t, l, 2, 0)
+	l.RemovePeer(0)
+	if l.Alive(0) != 0 || l.Hosted(0) != 0 {
+		t.Fatal("dead peer still participates")
+	}
+	if l.Alive(1) != 0 || l.Alive(2) != 0 {
+		t.Fatal("owners keeping blocks on dead host")
+	}
+	if l.Hosted(1) != 0 {
+		t.Fatal("dead owner's block still hosted")
+	}
+	if err := l.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropPlacementAt(t *testing.T) {
+	l := NewLedger(5, 10)
+	for _, h := range []PeerID{1, 2, 3, 4} {
+		mustPlace(t, l, 0, h)
+	}
+	// Find and drop host 2's placement.
+	idx := -1
+	for i := 0; i < l.Alive(0); i++ {
+		h, err := l.HostAt(0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == 2 {
+			idx = i
+		}
+	}
+	if err := l.DropPlacementAt(0, idx); err != nil {
+		t.Fatal(err)
+	}
+	if l.HasPlacement(0, 2) {
+		t.Fatal("placement still present")
+	}
+	if l.Alive(0) != 3 || l.Visible(0) != 3 || l.Hosted(2) != 0 {
+		t.Fatal("counters wrong after drop")
+	}
+	if err := l.DropPlacementAt(0, 99); !errors.Is(err, ErrBadPlacement) {
+		t.Fatalf("bad index: %v", err)
+	}
+	if err := l.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmeteredPlacement(t *testing.T) {
+	l := NewLedger(3, 1)
+	l.SetStrict(true)
+	mustPlace(t, l, 0, 2) // consumes the only quota slot
+	if err := l.PlaceUnmetered(1, 2); err != nil {
+		t.Fatalf("unmetered placement must bypass quota: %v", err)
+	}
+	if l.Hosted(2) != 2 || l.MeteredHosted(2) != 1 {
+		t.Fatalf("hosted/metered = %d/%d, want 2/1", l.Hosted(2), l.MeteredHosted(2))
+	}
+	if l.FreeQuota(2) != 0 {
+		t.Fatal("unmetered block must not free quota")
+	}
+	// Dropping the unmetered placement must not underflow the meter.
+	l.DropOwner(1)
+	if l.MeteredHosted(2) != 1 || l.Hosted(2) != 1 {
+		t.Fatalf("after unmetered drop: hosted/metered = %d/%d, want 1/1", l.Hosted(2), l.MeteredHosted(2))
+	}
+	if err := l.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Unmetered self-store still forbidden.
+	if err := l.PlaceUnmetered(2, 2); !errors.Is(err, ErrSelfStore) {
+		t.Fatalf("unmetered self store: %v", err)
+	}
+}
+
+func TestHostsOwnersViews(t *testing.T) {
+	l := NewLedger(4, 10)
+	mustPlace(t, l, 0, 1)
+	mustPlace(t, l, 0, 2)
+	mustPlace(t, l, 3, 1)
+	hosts := l.Hosts(0, nil)
+	if len(hosts) != 2 {
+		t.Fatalf("Hosts = %v", hosts)
+	}
+	owners := l.Owners(1, nil)
+	if len(owners) != 2 {
+		t.Fatalf("Owners = %v", owners)
+	}
+	// Buffer reuse appends.
+	buf := make([]PeerID, 0, 8)
+	buf = l.Hosts(0, buf)
+	buf = l.Hosts(3, buf)
+	if len(buf) != 3 {
+		t.Fatalf("appended views = %v", buf)
+	}
+	if l.TotalPlacements() != 3 {
+		t.Fatalf("TotalPlacements = %d", l.TotalPlacements())
+	}
+	if _, err := l.HostAt(0, 5); !errors.Is(err, ErrBadPlacement) {
+		t.Fatal("HostAt out of range must fail")
+	}
+}
+
+func TestOutOfRangeAccessorsAreSafe(t *testing.T) {
+	l := NewLedger(2, 1)
+	if l.Alive(-1) != 0 || l.Visible(9) != 0 || l.Hosted(-1) != 0 ||
+		l.FreeQuota(9) != 0 || l.Online(9) || l.MeteredHosted(-1) != 0 {
+		t.Fatal("out-of-range accessors must return zero values")
+	}
+	l.SetOnline(-1, false) // must not panic
+	l.RemoveHost(99)
+	l.DropOwner(-3)
+	if l.Hosts(-1, nil) != nil || l.Owners(99, nil) != nil {
+		t.Fatal("out-of-range views must be empty")
+	}
+}
+
+func TestNewLedgerPanics(t *testing.T) {
+	for _, c := range []struct{ n, q int }{{0, 1}, {3, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLedger(%d, %d) must panic", c.n, c.q)
+				}
+			}()
+			NewLedger(c.n, int32(c.q))
+		}()
+	}
+}
+
+// TestLedgerFuzzConsistency drives the ledger with a long random
+// operation sequence, checking full invariants periodically and at the
+// end. This is the property test guarding the swap-and-backpatch logic.
+func TestLedgerFuzzConsistency(t *testing.T) {
+	const peers = 40
+	r := rng.New(20240609)
+	l := NewLedger(peers, 8)
+	for step := 0; step < 20000; step++ {
+		switch r.Intn(10) {
+		case 0, 1, 2, 3: // place
+			owner := PeerID(r.Intn(peers))
+			host := PeerID(r.Intn(peers))
+			if owner != host && !l.HasPlacement(owner, host) {
+				_ = l.Place(owner, host) // quota errors are fine
+			}
+		case 4: // unmetered place
+			owner := PeerID(r.Intn(peers))
+			host := PeerID(r.Intn(peers))
+			if owner != host && !l.HasPlacement(owner, host) {
+				_ = l.PlaceUnmetered(owner, host)
+			}
+		case 5: // toggle session
+			l.SetOnline(PeerID(r.Intn(peers)), r.Bool(0.5))
+		case 6: // drop one placement
+			owner := PeerID(r.Intn(peers))
+			if n := l.Alive(owner); n > 0 {
+				if err := l.DropPlacementAt(owner, r.Intn(n)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 7: // host death
+			l.RemoveHost(PeerID(r.Intn(peers)))
+		case 8: // owner reset
+			l.DropOwner(PeerID(r.Intn(peers)))
+		case 9: // full death
+			l.RemovePeer(PeerID(r.Intn(peers)))
+		}
+		if step%500 == 0 {
+			if err := l.CheckConsistency(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := l.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableGenerations(t *testing.T) {
+	tab := NewTable(3)
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	ref := tab.Ref(1)
+	if !ref.Valid() || !tab.Current(ref) {
+		t.Fatal("fresh ref must be current")
+	}
+	tab.Bump(1)
+	if tab.Current(ref) {
+		t.Fatal("bumped ref must be stale")
+	}
+	if tab.Gen(1) != 1 {
+		t.Fatalf("Gen = %d", tab.Gen(1))
+	}
+	ref2 := tab.Ref(1)
+	if !tab.Current(ref2) {
+		t.Fatal("re-fetched ref must be current")
+	}
+	if tab.Ref(99).Valid() {
+		t.Fatal("out-of-range ref must be invalid")
+	}
+	if tab.Current(Ref{ID: 99, Gen: 0}) {
+		t.Fatal("out-of-range ref must not be current")
+	}
+	if NoRef.Valid() {
+		t.Fatal("NoRef must be invalid")
+	}
+	if NoRef.String() == "" || ref.String() == "" {
+		t.Fatal("refs must format")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Bump out of range must panic")
+			}
+		}()
+		tab.Bump(7)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewTable(0) must panic")
+			}
+		}()
+		NewTable(0)
+	}()
+}

@@ -1,0 +1,346 @@
+// Package p2pnet is the message layer between backup peers: a compact
+// binary wire format, a synchronous request/response transport
+// abstraction, an in-process implementation with fault injection for
+// tests and simulations, and a TCP implementation with length-prefixed
+// frames for real deployments.
+package p2pnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"p2pbackup/internal/storage"
+)
+
+// MsgType enumerates wire messages.
+type MsgType uint8
+
+// Message types. Every request type has a response counterpart.
+const (
+	TPing MsgType = iota + 1
+	TPong
+	TStoreBlock
+	TStoreResult
+	TGetBlock
+	TBlockData
+	TChallenge
+	TChallengeResponse
+	TStoreMaster
+	TGetMaster
+	TMasterData
+	TError
+)
+
+var msgTypeNames = map[MsgType]string{
+	TPing: "ping", TPong: "pong",
+	TStoreBlock: "store-block", TStoreResult: "store-result",
+	TGetBlock: "get-block", TBlockData: "block-data",
+	TChallenge: "challenge", TChallengeResponse: "challenge-response",
+	TStoreMaster: "store-master", TGetMaster: "get-master", TMasterData: "master-data",
+	TError: "error",
+}
+
+func (t MsgType) String() string {
+	if n, ok := msgTypeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Message is any wire message.
+type Message interface {
+	Type() MsgType
+}
+
+// Ping checks liveness; Pong echoes the peer's name.
+type Ping struct{ From string }
+
+// Pong answers a Ping.
+type Pong struct{ From string }
+
+// StoreBlock asks the receiver to hold a block.
+type StoreBlock struct {
+	From string
+	Key  storage.BlockID
+	Data []byte
+}
+
+// StoreResult acknowledges a StoreBlock.
+type StoreResult struct {
+	OK     bool
+	Reason string
+}
+
+// GetBlock requests a block's content.
+type GetBlock struct {
+	From string
+	Key  storage.BlockID
+}
+
+// BlockData answers GetBlock. Found is false when the block is absent.
+type BlockData struct {
+	Key   storage.BlockID
+	Found bool
+	Data  []byte
+}
+
+// Challenge audits a held block (proof of storage).
+type Challenge struct {
+	From  string
+	Key   storage.BlockID
+	Nonce [storage.NonceSize]byte
+}
+
+// ChallengeResponse carries the HMAC answer; OK is false when the
+// holder no longer has the block.
+type ChallengeResponse struct {
+	Key storage.BlockID
+	OK  bool
+	MAC [32]byte
+}
+
+// StoreMaster replicates an owner's (encrypted) master block.
+type StoreMaster struct {
+	From  string
+	Owner string
+	Data  []byte
+}
+
+// GetMaster retrieves a replicated master block by owner name.
+type GetMaster struct {
+	From  string
+	Owner string
+}
+
+// MasterData answers GetMaster.
+type MasterData struct {
+	Owner string
+	Found bool
+	Data  []byte
+}
+
+// ErrorMsg reports a remote failure.
+type ErrorMsg struct{ Text string }
+
+// Type implementations.
+func (Ping) Type() MsgType              { return TPing }
+func (Pong) Type() MsgType              { return TPong }
+func (StoreBlock) Type() MsgType        { return TStoreBlock }
+func (StoreResult) Type() MsgType       { return TStoreResult }
+func (GetBlock) Type() MsgType          { return TGetBlock }
+func (BlockData) Type() MsgType         { return TBlockData }
+func (Challenge) Type() MsgType         { return TChallenge }
+func (ChallengeResponse) Type() MsgType { return TChallengeResponse }
+func (StoreMaster) Type() MsgType       { return TStoreMaster }
+func (GetMaster) Type() MsgType         { return TGetMaster }
+func (MasterData) Type() MsgType        { return TMasterData }
+func (ErrorMsg) Type() MsgType          { return TError }
+
+// ---------------------------------------------------------------------------
+// Codec
+
+// MaxMessageSize bounds a decoded message (16 MiB covers a 1 MiB block
+// with generous headroom).
+const MaxMessageSize = 16 << 20
+
+// Codec errors.
+var (
+	ErrBadMessage  = errors.New("p2pnet: malformed message")
+	ErrMessageSize = errors.New("p2pnet: message too large")
+)
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)  { e.buf = append(e.buf, v) }
+func (e *encoder) bool(v bool) { e.u8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (e *encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+func (e *encoder) bytes(b []byte) {
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+func (e *encoder) str(s string) { e.bytes([]byte(s)) }
+func (e *encoder) fixed(b []byte) {
+	e.buf = append(e.buf, b...)
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrBadMessage
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *decoder) bool() bool { return d.u8() == 1 }
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxMessageSize || n > uint64(len(d.buf)) || n > math.MaxInt32 {
+		d.fail()
+		return nil
+	}
+	out := append([]byte(nil), d.buf[:n]...)
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) str() string { return string(d.bytes()) }
+
+func (d *decoder) fixed(n int) []byte {
+	if d.err != nil || len(d.buf) < n {
+		d.fail()
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+// Encode serialises a message (type byte + fields).
+func Encode(m Message) ([]byte, error) {
+	e := &encoder{buf: make([]byte, 0, 64)}
+	e.u8(uint8(m.Type()))
+	switch v := m.(type) {
+	case Ping:
+		e.str(v.From)
+	case Pong:
+		e.str(v.From)
+	case StoreBlock:
+		e.str(v.From)
+		e.fixed(v.Key[:])
+		e.bytes(v.Data)
+	case StoreResult:
+		e.bool(v.OK)
+		e.str(v.Reason)
+	case GetBlock:
+		e.str(v.From)
+		e.fixed(v.Key[:])
+	case BlockData:
+		e.fixed(v.Key[:])
+		e.bool(v.Found)
+		e.bytes(v.Data)
+	case Challenge:
+		e.str(v.From)
+		e.fixed(v.Key[:])
+		e.fixed(v.Nonce[:])
+	case ChallengeResponse:
+		e.fixed(v.Key[:])
+		e.bool(v.OK)
+		e.fixed(v.MAC[:])
+	case StoreMaster:
+		e.str(v.From)
+		e.str(v.Owner)
+		e.bytes(v.Data)
+	case GetMaster:
+		e.str(v.From)
+		e.str(v.Owner)
+	case MasterData:
+		e.str(v.Owner)
+		e.bool(v.Found)
+		e.bytes(v.Data)
+	case ErrorMsg:
+		e.str(v.Text)
+	default:
+		return nil, fmt.Errorf("p2pnet: cannot encode %T", m)
+	}
+	if len(e.buf) > MaxMessageSize {
+		return nil, ErrMessageSize
+	}
+	return e.buf, nil
+}
+
+// Decode parses a serialised message.
+func Decode(data []byte) (Message, error) {
+	if len(data) == 0 {
+		return nil, ErrBadMessage
+	}
+	if len(data) > MaxMessageSize {
+		return nil, ErrMessageSize
+	}
+	d := &decoder{buf: data[1:]}
+	var m Message
+	switch MsgType(data[0]) {
+	case TPing:
+		m = Ping{From: d.str()}
+	case TPong:
+		m = Pong{From: d.str()}
+	case TStoreBlock:
+		v := StoreBlock{From: d.str()}
+		copy(v.Key[:], d.fixed(len(v.Key)))
+		v.Data = d.bytes()
+		m = v
+	case TStoreResult:
+		m = StoreResult{OK: d.bool(), Reason: d.str()}
+	case TGetBlock:
+		v := GetBlock{From: d.str()}
+		copy(v.Key[:], d.fixed(len(v.Key)))
+		m = v
+	case TBlockData:
+		v := BlockData{}
+		copy(v.Key[:], d.fixed(len(v.Key)))
+		v.Found = d.bool()
+		v.Data = d.bytes()
+		m = v
+	case TChallenge:
+		v := Challenge{From: d.str()}
+		copy(v.Key[:], d.fixed(len(v.Key)))
+		copy(v.Nonce[:], d.fixed(len(v.Nonce)))
+		m = v
+	case TChallengeResponse:
+		v := ChallengeResponse{}
+		copy(v.Key[:], d.fixed(len(v.Key)))
+		v.OK = d.bool()
+		copy(v.MAC[:], d.fixed(len(v.MAC)))
+		m = v
+	case TStoreMaster:
+		m = StoreMaster{From: d.str(), Owner: d.str(), Data: d.bytes()}
+	case TGetMaster:
+		m = GetMaster{From: d.str(), Owner: d.str()}
+	case TMasterData:
+		m = MasterData{Owner: d.str(), Found: d.bool(), Data: d.bytes()}
+	case TError:
+		m = ErrorMsg{Text: d.str()}
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, data[0])
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(d.buf))
+	}
+	return m, nil
+}

@@ -1,0 +1,303 @@
+package p2pnet
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"p2pbackup/internal/storage"
+)
+
+func allMessages() []Message {
+	key := storage.IDOf([]byte("block"))
+	var nonce [storage.NonceSize]byte
+	copy(nonce[:], "nonce-nonce-nonce-nonce!")
+	var mac [32]byte
+	copy(mac[:], "mac-mac-mac-mac-mac-mac-mac-mac!")
+	return []Message{
+		Ping{From: "alice"},
+		Pong{From: "bob"},
+		StoreBlock{From: "alice", Key: key, Data: []byte{1, 2, 3}},
+		StoreResult{OK: true},
+		StoreResult{OK: false, Reason: "quota"},
+		GetBlock{From: "carol", Key: key},
+		BlockData{Key: key, Found: true, Data: []byte{9, 8}},
+		BlockData{Key: key, Found: false},
+		Challenge{From: "alice", Key: key, Nonce: nonce},
+		ChallengeResponse{Key: key, OK: true, MAC: mac},
+		StoreMaster{From: "alice", Owner: "alice", Data: []byte("master")},
+		GetMaster{From: "dave", Owner: "alice"},
+		MasterData{Owner: "alice", Found: true, Data: []byte("master")},
+		ErrorMsg{Text: "boom"},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, m := range allMessages() {
+		raw, err := Encode(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m.Type(), err)
+		}
+		got, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("%v: %v", m.Type(), err)
+		}
+		if !reflect.DeepEqual(normalise(got), normalise(m)) {
+			t.Fatalf("%v: round trip mismatch:\n got %#v\nwant %#v", m.Type(), got, m)
+		}
+	}
+}
+
+// normalise maps nil and empty byte slices to equality.
+func normalise(m Message) Message {
+	switch v := m.(type) {
+	case StoreBlock:
+		if len(v.Data) == 0 {
+			v.Data = nil
+		}
+		return v
+	case BlockData:
+		if len(v.Data) == 0 {
+			v.Data = nil
+		}
+		return v
+	case StoreMaster:
+		if len(v.Data) == 0 {
+			v.Data = nil
+		}
+		return v
+	case MasterData:
+		if len(v.Data) == 0 {
+			v.Data = nil
+		}
+		return v
+	default:
+		return m
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},                       // type 0 invalid
+		{99},                      // unknown type
+		{byte(TStoreBlock), 0xFF}, // truncated
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: garbage decoded", i)
+		}
+	}
+	// Trailing bytes rejected.
+	raw, _ := Encode(Ping{From: "x"})
+	if _, err := Decode(append(raw, 0)); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	// Arbitrary bytes must never panic the decoder.
+	f := func(data []byte) bool {
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for _, m := range allMessages() {
+		if m.Type().String() == "" {
+			t.Fatal("empty type name")
+		}
+	}
+	if MsgType(200).String() == "" {
+		t.Fatal("unknown type must format")
+	}
+}
+
+func echoHandler(t *testing.T) Handler {
+	t.Helper()
+	return func(from string, req Message) Message {
+		switch v := req.(type) {
+		case Ping:
+			return Pong{From: "server"}
+		case StoreBlock:
+			return StoreResult{OK: true}
+		case GetBlock:
+			return BlockData{Key: v.Key, Found: false}
+		default:
+			return ErrorMsg{Text: "unexpected"}
+		}
+	}
+}
+
+func TestInMemCallRoundTrip(t *testing.T) {
+	tr := NewInMemTransport(1)
+	closer, err := tr.Serve("peer-a", echoHandler(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tr.Call("peer-a", Ping{From: "me"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong, ok := resp.(Pong); !ok || pong.From != "server" {
+		t.Fatalf("resp = %#v", resp)
+	}
+	// Unknown peer.
+	if _, err := tr.Call("peer-z", Ping{}); !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	// Double serve rejected.
+	if _, err := tr.Serve("peer-a", echoHandler(t)); !errors.Is(err, ErrAddrInUse) {
+		t.Fatal("duplicate serve accepted")
+	}
+	// Close unregisters.
+	if err := closer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Call("peer-a", Ping{}); !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatal("closed peer still reachable")
+	}
+}
+
+func TestInMemFaultInjection(t *testing.T) {
+	tr := NewInMemTransport(2)
+	if _, err := tr.Serve("p", echoHandler(t)); err != nil {
+		t.Fatal(err)
+	}
+	// Partition.
+	tr.SetPartitioned("p", true)
+	if _, err := tr.Call("p", Ping{}); !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatal("partitioned peer reachable")
+	}
+	tr.SetPartitioned("p", false)
+	if _, err := tr.Call("p", Ping{}); err != nil {
+		t.Fatal("healed partition still failing")
+	}
+	// Drops: with rate 1 every call fails; with 0 none do.
+	tr.SetDropRate(1)
+	if _, err := tr.Call("p", Ping{}); !errors.Is(err, ErrDropped) {
+		t.Fatal("drop rate 1 delivered")
+	}
+	tr.SetDropRate(0)
+	for i := 0; i < 50; i++ {
+		if _, err := tr.Call("p", Ping{}); err != nil {
+			t.Fatal("drop rate 0 dropped")
+		}
+	}
+	made, failed := tr.Stats()
+	if made == 0 || failed == 0 {
+		t.Fatalf("stats = %d/%d", made, failed)
+	}
+}
+
+func TestInMemPassesSenderName(t *testing.T) {
+	tr := NewInMemTransport(3)
+	var gotFrom string
+	_, err := tr.Serve("srv", func(from string, req Message) Message {
+		gotFrom = from
+		return Pong{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Call("srv", Ping{From: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if gotFrom != "alice" {
+		t.Fatalf("from = %q", gotFrom)
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	tr := NewTCPTransport()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := tr.ServeListener(ln, func(from string, req Message) Message {
+		switch v := req.(type) {
+		case StoreBlock:
+			if from != "alice" {
+				return ErrorMsg{Text: "bad from"}
+			}
+			return StoreResult{OK: true}
+		case GetBlock:
+			return BlockData{Key: v.Key, Found: true, Data: []byte("remote")}
+		default:
+			return Pong{From: "tcp-server"}
+		}
+	})
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	resp, err := tr.Call(addr, Ping{From: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong, ok := resp.(Pong); !ok || pong.From != "tcp-server" {
+		t.Fatalf("resp = %#v", resp)
+	}
+	key := storage.IDOf([]byte("b"))
+	resp, err = tr.Call(addr, StoreBlock{From: "alice", Key: key, Data: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr, ok := resp.(StoreResult); !ok || !sr.OK {
+		t.Fatalf("resp = %#v", resp)
+	}
+	resp, err = tr.Call(addr, GetBlock{From: "alice", Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd, ok := resp.(BlockData); !ok || string(bd.Data) != "remote" {
+		t.Fatalf("resp = %#v", resp)
+	}
+	// Unreachable address.
+	if _, err := tr.Call("127.0.0.1:1", Ping{}); !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	tr := NewTCPTransport()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := tr.ServeListener(ln, func(from string, req Message) Message {
+		return Pong{From: "s"}
+	})
+	defer srv.Close()
+	addr := ln.Addr().String()
+	done := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func() {
+			for i := 0; i < 10; i++ {
+				if _, err := tr.Call(addr, Ping{From: "c"}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	big := StoreBlock{From: "a", Data: make([]byte, MaxMessageSize)}
+	if _, err := Encode(big); !errors.Is(err, ErrMessageSize) {
+		t.Fatal("oversized message encoded")
+	}
+}

@@ -1,0 +1,299 @@
+package p2pnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"p2pbackup/internal/rng"
+)
+
+// Handler serves one request and returns the response message.
+type Handler func(from string, req Message) Message
+
+// Transport is a synchronous request/response fabric between named
+// peers. Implementations must be safe for concurrent use.
+type Transport interface {
+	// Serve registers a handler under addr. Close the returned closer
+	// to stop serving.
+	Serve(addr string, h Handler) (io.Closer, error)
+	// Call sends req to addr and waits for its response.
+	Call(addr string, req Message) (Message, error)
+}
+
+// Transport errors.
+var (
+	ErrPeerUnreachable = errors.New("p2pnet: peer unreachable")
+	ErrAddrInUse       = errors.New("p2pnet: address already served")
+	ErrDropped         = errors.New("p2pnet: message dropped")
+)
+
+// ---------------------------------------------------------------------------
+// In-memory transport
+
+// InMemTransport routes calls between in-process peers with injectable
+// faults: per-call drop probability and hard partitions. The zero drop
+// configuration is fully reliable.
+type InMemTransport struct {
+	mu          sync.RWMutex
+	handlers    map[string]Handler
+	dropRate    float64
+	partition   map[string]bool // unreachable addrs
+	r           *rng.Rand
+	callsMade   int64
+	callsFailed int64
+}
+
+// NewInMemTransport returns an empty fabric; seed drives fault
+// randomness.
+func NewInMemTransport(seed uint64) *InMemTransport {
+	return &InMemTransport{
+		handlers:  make(map[string]Handler),
+		partition: make(map[string]bool),
+		r:         rng.New(seed),
+	}
+}
+
+// SetDropRate makes every call fail with probability p.
+func (t *InMemTransport) SetDropRate(p float64) {
+	t.mu.Lock()
+	t.dropRate = p
+	t.mu.Unlock()
+}
+
+// SetPartitioned isolates an address (calls to it fail) until cleared.
+func (t *InMemTransport) SetPartitioned(addr string, cut bool) {
+	t.mu.Lock()
+	if cut {
+		t.partition[addr] = true
+	} else {
+		delete(t.partition, addr)
+	}
+	t.mu.Unlock()
+}
+
+// Stats reports calls made and failed (diagnostics).
+func (t *InMemTransport) Stats() (made, failed int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.callsMade, t.callsFailed
+}
+
+type inmemCloser struct {
+	t    *InMemTransport
+	addr string
+}
+
+func (c *inmemCloser) Close() error {
+	c.t.mu.Lock()
+	delete(c.t.handlers, c.addr)
+	c.t.mu.Unlock()
+	return nil
+}
+
+// Serve implements Transport.
+func (t *InMemTransport) Serve(addr string, h Handler) (io.Closer, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.handlers[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	t.handlers[addr] = h
+	return &inmemCloser{t: t, addr: addr}, nil
+}
+
+// Call implements Transport. The wire codec is exercised on both
+// directions so in-memory tests cover serialisation too.
+func (t *InMemTransport) Call(addr string, req Message) (Message, error) {
+	t.mu.Lock()
+	t.callsMade++
+	h, ok := t.handlers[addr]
+	cut := t.partition[addr]
+	drop := t.dropRate > 0 && t.r.Bool(t.dropRate)
+	if !ok || cut || drop {
+		t.callsFailed++
+	}
+	t.mu.Unlock()
+	if !ok || cut {
+		return nil, fmt.Errorf("%w: %s", ErrPeerUnreachable, addr)
+	}
+	if drop {
+		return nil, fmt.Errorf("%w: call to %s", ErrDropped, addr)
+	}
+	// Round-trip through the codec to guarantee wire compatibility.
+	raw, err := Encode(req)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	resp := h(fromOf(decoded), decoded)
+	if resp == nil {
+		return nil, fmt.Errorf("p2pnet: handler for %s returned nil", addr)
+	}
+	rraw, err := Encode(resp)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(rraw)
+}
+
+// fromOf extracts the sender name if the message carries one.
+func fromOf(m Message) string {
+	switch v := m.(type) {
+	case Ping:
+		return v.From
+	case StoreBlock:
+		return v.From
+	case GetBlock:
+		return v.From
+	case Challenge:
+		return v.From
+	case StoreMaster:
+		return v.From
+	case GetMaster:
+		return v.From
+	default:
+		return ""
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport
+
+// TCPTransport serves and calls over real sockets with length-prefixed
+// frames: uint32 big-endian length, then the encoded message. Each
+// call opens a fresh connection; the protocol is strictly one request,
+// one response.
+type TCPTransport struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// IOTimeout bounds each read/write (default 10s).
+	IOTimeout time.Duration
+}
+
+// NewTCPTransport returns a transport with default timeouts.
+func NewTCPTransport() *TCPTransport {
+	return &TCPTransport{DialTimeout: 5 * time.Second, IOTimeout: 10 * time.Second}
+}
+
+type tcpServer struct {
+	ln   net.Listener
+	wg   sync.WaitGroup
+	quit chan struct{}
+	once sync.Once
+}
+
+// Close is idempotent: owners and cleanup hooks may both call it.
+func (s *tcpServer) Close() error {
+	var err error
+	s.once.Do(func() {
+		close(s.quit)
+		err = s.ln.Close()
+		s.wg.Wait()
+	})
+	return err
+}
+
+// Serve implements Transport; addr is a TCP listen address (a port of
+// 0 picks one; use Addr on the returned closer's listener via
+// ServeListener if you need it).
+func (t *TCPTransport) Serve(addr string, h Handler) (io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return t.ServeListener(ln, h), nil
+}
+
+// ServeListener serves on an existing listener (lets callers learn the
+// bound address first).
+func (t *TCPTransport) ServeListener(ln net.Listener, h Handler) io.Closer {
+	s := &tcpServer{ln: ln, quit: make(chan struct{})}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-s.quit:
+					return
+				default:
+					continue
+				}
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				t.handleConn(conn, h)
+			}()
+		}
+	}()
+	return s
+}
+
+func (t *TCPTransport) handleConn(conn net.Conn, h Handler) {
+	_ = conn.SetDeadline(time.Now().Add(t.IOTimeout))
+	req, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	resp := h(fromOf(req), req)
+	if resp == nil {
+		resp = ErrorMsg{Text: "nil handler response"}
+	}
+	_ = writeFrame(conn, resp)
+}
+
+// Call implements Transport.
+func (t *TCPTransport) Call(addr string, req Message) (Message, error) {
+	conn, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrPeerUnreachable, addr, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(t.IOTimeout)
+	_ = conn.SetDeadline(deadline)
+	if err := writeFrame(conn, req); err != nil {
+		return nil, err
+	}
+	return readFrame(conn)
+}
+
+func writeFrame(w io.Writer, m Message) error {
+	raw, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+func readFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return nil, ErrMessageSize
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}

@@ -1,0 +1,203 @@
+// Package selection implements partner-selection strategies: the
+// paper's age-based acceptance rule plus the baselines the ablation
+// experiments compare it against.
+//
+// The paper's acceptance function (section 3.2), evaluated by peer p1
+// when peer p2 asks for a partnership, with s1, s2 their ages and L the
+// stability horizon (90 days):
+//
+//	f(p1, p2) = min((L - (min(s1, L) - min(s2, L)) + 1) / L, 1)
+//
+// Its stated properties, all tested in this package:
+//   - the result is never zero (minimum 1/L, so newcomers are never
+//     locked out entirely);
+//   - it is exactly one whenever p2 is at least as old as p1 (older
+//     peers are always accepted);
+//   - it is asymmetric: f(p1, p2) != f(p2, p1) unless both ages exceed L.
+//
+// Once a pool of mutually accepting candidates exists, the owner ranks
+// it and takes the top candidates; the paper ranks by age (oldest
+// first). Baselines substitute the ranking and/or acceptance rule.
+package selection
+
+import (
+	"errors"
+	"fmt"
+
+	"p2pbackup/internal/rng"
+)
+
+// PeerInfo carries what a strategy may know about a peer. Age is the
+// only field an implementable protocol can observe (via the monitoring
+// substrate); Availability and Remaining are ground truth that only the
+// oracle baselines read.
+type PeerInfo struct {
+	// Age is the number of rounds since the peer joined the system.
+	Age int64
+	// Availability is the peer's true long-run online fraction.
+	Availability float64
+	// Remaining is the peer's true remaining lifetime in rounds.
+	Remaining int64
+}
+
+// Strategy decides partnerships and ranks candidates.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// AcceptProb returns the probability that acceptor agrees to a
+	// partnership requested by requester.
+	AcceptProb(acceptor, requester PeerInfo) float64
+	// Score ranks a candidate for selection by an owner; higher is
+	// preferred.
+	Score(candidate PeerInfo) float64
+}
+
+// Agree draws both directions of a partnership: the owner must accept
+// the candidate and the candidate must accept the owner.
+func Agree(r *rng.Rand, s Strategy, owner, candidate PeerInfo) bool {
+	return r.Bool(s.AcceptProb(owner, candidate)) && r.Bool(s.AcceptProb(candidate, owner))
+}
+
+// ---------------------------------------------------------------------------
+// Age-based (the paper)
+
+// AgeBased is the paper's strategy: probabilistic acceptance via the
+// acceptance function with horizon L, ranking by age capped at L.
+type AgeBased struct {
+	// L is the stability horizon in rounds (the paper uses 90 days).
+	L int64
+}
+
+// Name implements Strategy.
+func (a AgeBased) Name() string { return fmt.Sprintf("age(L=%d)", a.L) }
+
+// AcceptProb evaluates the paper's acceptance function.
+func (a AgeBased) AcceptProb(acceptor, requester PeerInfo) float64 {
+	return AcceptanceFunction(acceptor.Age, requester.Age, a.L)
+}
+
+// Score ranks candidates by capped age, oldest first.
+func (a AgeBased) Score(candidate PeerInfo) float64 {
+	age := candidate.Age
+	if age > a.L {
+		age = a.L
+	}
+	if age < 0 {
+		age = 0
+	}
+	return float64(age)
+}
+
+// AcceptanceFunction is the paper's f(p1, p2) for acceptor age s1,
+// requester age s2 and horizon L. It panics if L <= 0.
+func AcceptanceFunction(s1, s2, L int64) float64 {
+	if L <= 0 {
+		panic("selection: acceptance horizon must be positive")
+	}
+	if s1 < 0 {
+		s1 = 0
+	}
+	if s2 < 0 {
+		s2 = 0
+	}
+	if s1 > L {
+		s1 = L
+	}
+	if s2 > L {
+		s2 = L
+	}
+	v := float64(L-(s1-s2)+1) / float64(L)
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Baselines
+
+// Random accepts everyone and ranks uniformly: the placement a system
+// with no lifetime information would do.
+type Random struct{}
+
+// Name implements Strategy.
+func (Random) Name() string { return "random" }
+
+// AcceptProb always accepts.
+func (Random) AcceptProb(_, _ PeerInfo) float64 { return 1 }
+
+// Score is constant; pool order (already random) decides.
+func (Random) Score(PeerInfo) float64 { return 0 }
+
+// AvailabilityOracle accepts everyone and ranks by true availability -
+// an unimplementable upper bound that ignores lifetimes.
+type AvailabilityOracle struct{}
+
+// Name implements Strategy.
+func (AvailabilityOracle) Name() string { return "availability-oracle" }
+
+// AcceptProb always accepts.
+func (AvailabilityOracle) AcceptProb(_, _ PeerInfo) float64 { return 1 }
+
+// Score is the true availability.
+func (AvailabilityOracle) Score(c PeerInfo) float64 { return c.Availability }
+
+// LifetimeOracle accepts everyone and ranks by true remaining lifetime,
+// the quantity age merely estimates. The gap between LifetimeOracle and
+// AgeBased measures how much the estimate loses; the gap between
+// LifetimeOracle and Random measures how much lifetime-aware placement
+// can possibly win.
+type LifetimeOracle struct{}
+
+// Name implements Strategy.
+func (LifetimeOracle) Name() string { return "lifetime-oracle" }
+
+// AcceptProb always accepts.
+func (LifetimeOracle) AcceptProb(_, _ PeerInfo) float64 { return 1 }
+
+// Score is the true remaining lifetime.
+func (LifetimeOracle) Score(c PeerInfo) float64 { return float64(c.Remaining) }
+
+// YoungestFirst is the adversarial baseline: rank youngest first. If
+// the age signal carries information, this must perform WORSE than
+// Random.
+type YoungestFirst struct{}
+
+// Name implements Strategy.
+func (YoungestFirst) Name() string { return "youngest-first" }
+
+// AcceptProb always accepts.
+func (YoungestFirst) AcceptProb(_, _ PeerInfo) float64 { return 1 }
+
+// Score is the negated age.
+func (YoungestFirst) Score(c PeerInfo) float64 { return -float64(c.Age) }
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// ErrUnknownStrategy reports an unrecognised strategy name.
+var ErrUnknownStrategy = errors.New("selection: unknown strategy")
+
+// ByName resolves a strategy from its CLI name. The age strategy takes
+// its horizon from the l parameter; the others ignore it.
+func ByName(name string, l int64) (Strategy, error) {
+	switch name {
+	case "age", "":
+		return AgeBased{L: l}, nil
+	case "random":
+		return Random{}, nil
+	case "availability-oracle":
+		return AvailabilityOracle{}, nil
+	case "lifetime-oracle":
+		return LifetimeOracle{}, nil
+	case "youngest-first":
+		return YoungestFirst{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStrategy, name)
+	}
+}
+
+// Names lists the registered strategy names.
+func Names() []string {
+	return []string{"age", "random", "availability-oracle", "lifetime-oracle", "youngest-first"}
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"fmt"
+
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/selection"
+)
+
+// ObserverSpec declares a fixed-age observer peer (the paper's section
+// 4.2.2): its age never changes, it never dies, it is always online,
+// other peers cannot select it as a partner, and its blocks do not
+// consume host quota.
+type ObserverSpec struct {
+	Name string
+	Age  int64 // rounds
+}
+
+// PaperObservers returns the paper's five observers.
+func PaperObservers() []ObserverSpec {
+	return []ObserverSpec{
+		{Name: "elder", Age: 3 * churn.Month}, // the age limit L
+		{Name: "senior", Age: 1 * churn.Month},
+		{Name: "adult", Age: 1 * churn.Week},
+		{Name: "teenager", Age: 1 * churn.Day},
+		{Name: "baby", Age: 1 * churn.Hour},
+	}
+}
+
+// Config parameterises one simulation run.
+type Config struct {
+	// NumPeers is the population size (constant; departures are
+	// replaced immediately). Paper: 25,000.
+	NumPeers int
+	// Rounds is the simulation length (1 round = 1 hour). Paper: 50,000.
+	Rounds int64
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed uint64
+
+	// TotalBlocks (n), DataBlocks (k): erasure-code shape. Paper: 256/128.
+	TotalBlocks int
+	DataBlocks  int
+	// RepairThreshold is k'. Paper: 132-180, focal value 148.
+	RepairThreshold int
+	// Quota is the per-peer hosted-block cap. Paper: 384.
+	Quota int32
+	// AcceptHorizon is L for the acceptance function, in rounds.
+	// Paper: 90 days.
+	AcceptHorizon int64
+	// PoolSamplePerRound bounds candidate probing per repairing peer.
+	PoolSamplePerRound int
+	// UploadBudgetPerRound caps blocks uploaded per peer per round (the
+	// section 2.2.4 bandwidth bound: a worst-case repair of ~128 blocks
+	// fills about one hour on the reference DSL link). 0 = unlimited.
+	UploadBudgetPerRound int
+
+	// Profiles is the behaviour population (default: the paper's four).
+	Profiles *churn.ProfileSet
+	// Avail generates online/offline sessions (default: exponential
+	// sessions with a one-day mean cycle).
+	Avail churn.AvailabilityModel
+	// Strategy picks partners (default: the paper's age-based rule).
+	Strategy selection.Strategy
+
+	// DropOffline: repairs abandon currently offline partners (default
+	// true; see DESIGN.md section 4).
+	DropOffline bool
+	// CancelOnRecover: pending repairs abort if visibility recovers
+	// (default true).
+	CancelOnRecover bool
+	// RepairDelay holds a triggered repair for this many owner-online
+	// rounds before decoding, letting offline partners return (the
+	// paper's future-work knob). 0 = immediate.
+	RepairDelay int
+	// CountInitialAsRepair includes initial uploads in repair-rate
+	// metrics (the paper treats the first upload as a repair).
+	CountInitialAsRepair bool
+	// ResampleProfileOnReplace draws a fresh profile for replacement
+	// peers instead of inheriting the departed peer's profile. The
+	// paper's profile proportions are presented as stationary system
+	// properties, which requires like-for-like replacement (the
+	// default, false). Resampling drifts the population toward immortal
+	// profiles and starves the young population of erratic peers; it is
+	// kept as an ablation.
+	ResampleProfileOnReplace bool
+
+	// Observers to instantiate (may be empty).
+	Observers []ObserverSpec
+
+	// Warmup rounds excluded from rate metrics (series still cover the
+	// full run, like the paper's figures).
+	Warmup int64
+	// SampleEvery is the series sampling cadence in rounds.
+	SampleEvery int64
+
+	// RecordTrace enables churn trace capture (memory-heavy at full
+	// scale; meant for small runs and tracegen).
+	RecordTrace bool
+
+	// Progress, if non-nil, is called once per ProgressEvery rounds.
+	Progress      func(round int64)
+	ProgressEvery int64
+}
+
+// DefaultConfig returns the paper's parameters at full scale.
+func DefaultConfig() Config {
+	return Config{
+		NumPeers:             25000,
+		Rounds:               50000,
+		Seed:                 1,
+		TotalBlocks:          256,
+		DataBlocks:           128,
+		RepairThreshold:      148,
+		Quota:                384,
+		AcceptHorizon:        90 * churn.Day,
+		PoolSamplePerRound:   128,
+		UploadBudgetPerRound: 128,
+		DropOffline:          true,
+		CancelOnRecover:      true,
+		CountInitialAsRepair: true,
+		Warmup:               0,
+		SampleEvery:          churn.Day,
+	}
+}
+
+// Scale returns a copy of the config with the population and duration
+// scaled by f (parameters like n, k, quota, thresholds are intensive
+// and stay fixed). Used by the scale presets.
+func (c Config) Scale(f float64) Config {
+	out := c
+	out.NumPeers = int(float64(c.NumPeers) * f)
+	out.Rounds = int64(float64(c.Rounds) * f)
+	if out.NumPeers < c.TotalBlocks+1 {
+		out.NumPeers = c.TotalBlocks + 1
+	}
+	if out.Rounds < 1 {
+		out.Rounds = 1
+	}
+	return out
+}
+
+// Validate checks the configuration, filling defaults for nil
+// sub-components. It returns the normalised config.
+func (c Config) Validate() (Config, error) {
+	if c.Profiles == nil {
+		c.Profiles = churn.PaperProfiles()
+	}
+	if c.Avail == nil {
+		c.Avail = churn.DefaultSessionModel()
+	}
+	if c.Strategy == nil {
+		c.Strategy = selection.AgeBased{L: c.AcceptHorizon}
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = churn.Day
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 1000
+	}
+	if c.NumPeers < 2 {
+		return c, fmt.Errorf("sim: NumPeers = %d too small", c.NumPeers)
+	}
+	if c.Rounds < 1 {
+		return c, fmt.Errorf("sim: Rounds = %d must be positive", c.Rounds)
+	}
+	if c.DataBlocks < 1 || c.TotalBlocks <= c.DataBlocks {
+		return c, fmt.Errorf("sim: invalid code shape n=%d k=%d", c.TotalBlocks, c.DataBlocks)
+	}
+	if c.NumPeers <= c.TotalBlocks {
+		return c, fmt.Errorf("sim: NumPeers = %d must exceed n = %d (blocks go to distinct peers)",
+			c.NumPeers, c.TotalBlocks)
+	}
+	if c.RepairThreshold < c.DataBlocks || c.RepairThreshold > c.TotalBlocks {
+		return c, fmt.Errorf("sim: threshold %d outside [k=%d, n=%d]",
+			c.RepairThreshold, c.DataBlocks, c.TotalBlocks)
+	}
+	if c.Quota < 1 {
+		return c, fmt.Errorf("sim: quota %d must be positive", c.Quota)
+	}
+	if c.AcceptHorizon < 1 {
+		return c, fmt.Errorf("sim: accept horizon %d must be positive", c.AcceptHorizon)
+	}
+	if c.PoolSamplePerRound < 1 {
+		return c, fmt.Errorf("sim: pool sample %d must be positive", c.PoolSamplePerRound)
+	}
+	if c.UploadBudgetPerRound < 0 {
+		return c, fmt.Errorf("sim: upload budget %d must be >= 0", c.UploadBudgetPerRound)
+	}
+	if c.RepairDelay < 0 {
+		return c, fmt.Errorf("sim: repair delay %d must be >= 0", c.RepairDelay)
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Rounds {
+		return c, fmt.Errorf("sim: warmup %d outside [0, rounds)", c.Warmup)
+	}
+	for _, o := range c.Observers {
+		if o.Age < 0 {
+			return c, fmt.Errorf("sim: observer %q has negative age", o.Name)
+		}
+	}
+	// Capacity sanity: the population must be able to host all blocks.
+	demand := int64(c.NumPeers) * int64(c.TotalBlocks)
+	capacity := int64(c.NumPeers) * int64(c.Quota)
+	if demand > capacity {
+		return c, fmt.Errorf("sim: block demand %d exceeds quota capacity %d", demand, capacity)
+	}
+	return c, nil
+}

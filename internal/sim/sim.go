@@ -1,0 +1,343 @@
+// Package sim is the round-based simulation engine, the PeerSim
+// equivalent the paper's evaluation runs on.
+//
+// Semantics follow the paper's section 3.1: time advances in rounds of
+// one hour; within a round every peer may execute protocol code,
+// sequentially, in an order chosen randomly per round; departures are
+// replaced immediately and the departed peer's blocks disappear at
+// once. The engine keeps the per-round cost proportional to the number
+// of churn events (session flips, deaths) plus the number of peers with
+// active maintenance work, using the overlay ledger's incremental
+// counters rather than per-peer partner scans.
+package sim
+
+import (
+	"math"
+
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/maintenance"
+	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/overlay"
+	"p2pbackup/internal/rng"
+	"p2pbackup/internal/selection"
+)
+
+// never is a round sentinel beyond any simulation horizon.
+const never = math.MaxInt64 / 4
+
+// peer is the engine-side state of one population slot.
+type peer struct {
+	profile   int32
+	cat       metrics.Category
+	online    bool
+	avail     float64
+	join      int64 // round the current occupant joined
+	death     int64 // round the occupant departs (never for immortals)
+	toggle    int64 // next session flip
+	catChange int64 // next category promotion
+}
+
+// Result aggregates a finished run.
+type Result struct {
+	Config    Config
+	Collector *metrics.Collector
+	Observers *metrics.ObserverTracker
+	Trace     *churn.Trace
+	// Deaths is the number of departures (and replacements).
+	Deaths int64
+	// Cancels counts repairs aborted after visibility recovered.
+	Cancels int64
+	// FinalPlacements is the block count in the system at the end.
+	FinalPlacements int
+	// FinalIncluded is how many peers had a complete archive at the end.
+	FinalIncluded int
+}
+
+// Simulation is a configured run. Create with New, execute with Run.
+type Simulation struct {
+	cfg   Config
+	r     *rng.Rand
+	led   *overlay.Ledger
+	tab   *overlay.Table
+	maint *maintenance.Maintainer
+	col   *metrics.Collector
+	obs   *metrics.ObserverTracker
+
+	peers    []peer
+	obsSpecs []ObserverSpec
+	round    int64
+	catPop   [metrics.NumCategories]int64
+	deaths   int64
+	cancels  int64
+	trace    *churn.Trace
+
+	actors []overlay.PeerID // scratch: peers acting this round
+}
+
+// New validates the config and builds a ready-to-run simulation.
+func New(cfg Config) (*Simulation, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	slots := cfg.NumPeers + len(cfg.Observers)
+	s := &Simulation{
+		cfg:      cfg,
+		r:        rng.New(cfg.Seed),
+		led:      overlay.NewLedger(slots, cfg.Quota),
+		tab:      overlay.NewTable(slots),
+		col:      metrics.NewCollector(cfg.Profiles.Len(), cfg.SampleEvery, cfg.Warmup),
+		peers:    make([]peer, cfg.NumPeers),
+		obsSpecs: cfg.Observers,
+	}
+	names := make([]string, len(cfg.Observers))
+	for i, o := range cfg.Observers {
+		names[i] = o.Name
+	}
+	s.obs = metrics.NewObserverTracker(names)
+	if cfg.RecordTrace {
+		s.trace = &churn.Trace{}
+	}
+	s.maint = maintenance.New(maintenance.Params{
+		TotalBlocks:          cfg.TotalBlocks,
+		DataBlocks:           cfg.DataBlocks,
+		RepairThreshold:      cfg.RepairThreshold,
+		PoolSamplePerRound:   cfg.PoolSamplePerRound,
+		UploadBudgetPerRound: cfg.UploadBudgetPerRound,
+		DropOffline:          cfg.DropOffline,
+		CancelOnRecover:      cfg.CancelOnRecover,
+		RepairDelay:          cfg.RepairDelay,
+	}, s.led, s.tab, cfg.Strategy, (*simEnv)(s))
+
+	for id := range s.peers {
+		s.initPeer(overlay.PeerID(id), 0, -1)
+		s.catPop[metrics.Newcomer]++
+	}
+	for i := range s.obsSpecs {
+		s.maint.SetUnmetered(s.observerSlot(i), true)
+	}
+	return s, nil
+}
+
+// observerSlot maps observer index to its ledger slot.
+func (s *Simulation) observerSlot(i int) overlay.PeerID {
+	return overlay.PeerID(s.cfg.NumPeers + i)
+}
+
+// initPeer (re)initialises a population slot at the given join round
+// with the given profile (pass -1 to sample one): fresh lifetime and
+// availability session.
+func (s *Simulation) initPeer(id overlay.PeerID, round int64, profile int) {
+	p := &s.peers[id]
+	prof := profile
+	if prof < 0 {
+		prof = s.cfg.Profiles.SampleIndex(s.r)
+	}
+	p.profile = int32(prof)
+	p.avail = s.cfg.Profiles.Profile(prof).Availability
+	p.join = round
+	p.cat = metrics.Newcomer
+	p.catChange = addClamped(round, metrics.CategoryBound(metrics.Newcomer))
+	life := s.cfg.Profiles.SampleLifetime(s.r, prof)
+	p.death = addClamped(round, life)
+	p.online = s.r.Bool(p.avail)
+	s.led.SetOnline(id, p.online)
+	p.toggle = addClamped(round, s.cfg.Avail.SessionLength(s.r, p.avail, p.online))
+	if s.trace != nil {
+		s.trace.Append(round, int32(id), churn.EvJoin)
+		if p.online {
+			s.trace.Append(round, int32(id), churn.EvOnline)
+		} else {
+			s.trace.Append(round, int32(id), churn.EvOffline)
+		}
+	}
+}
+
+func addClamped(round, delta int64) int64 {
+	if delta >= never || round+delta >= never || delta < 0 {
+		return never
+	}
+	return round + delta
+}
+
+// simEnv adapts the simulation to maintenance.Env without an extra
+// allocation per call.
+type simEnv Simulation
+
+// Info implements maintenance.Env.
+func (e *simEnv) Info(id overlay.PeerID) selection.PeerInfo {
+	s := (*Simulation)(e)
+	if int(id) >= s.cfg.NumPeers {
+		// Observer: fixed age, immortal, always online.
+		spec := s.obsSpecs[int(id)-s.cfg.NumPeers]
+		return selection.PeerInfo{Age: spec.Age, Availability: 1, Remaining: never}
+	}
+	p := &s.peers[id]
+	remaining := int64(never)
+	if p.death != never {
+		remaining = p.death - s.round
+	}
+	return selection.PeerInfo{
+		Age:          s.round - p.join,
+		Availability: p.avail,
+		Remaining:    remaining,
+	}
+}
+
+// SampleCandidate implements maintenance.Env: uniform over the regular
+// population (observers are invisible as candidates, per the paper).
+func (e *simEnv) SampleCandidate(r *rng.Rand) overlay.PeerID {
+	s := (*Simulation)(e)
+	return overlay.PeerID(r.Intn(s.cfg.NumPeers))
+}
+
+// Run executes the configured number of rounds and returns the result.
+func (s *Simulation) Run() *Result {
+	for ; s.round < s.cfg.Rounds; s.round++ {
+		s.stepRound()
+		if s.cfg.Progress != nil && (s.round+1)%s.cfg.ProgressEvery == 0 {
+			s.cfg.Progress(s.round + 1)
+		}
+	}
+	included := 0
+	for id := range s.peers {
+		if s.maint.Included(overlay.PeerID(id)) {
+			included++
+		}
+	}
+	return &Result{
+		Config:          s.cfg,
+		Collector:       s.col,
+		Observers:       s.obs,
+		Trace:           s.trace,
+		Deaths:          s.deaths,
+		Cancels:         s.cancels,
+		FinalPlacements: s.led.TotalPlacements(),
+		FinalIncluded:   included,
+	}
+}
+
+// stepRound advances one round: churn events first, then maintenance
+// actions in random order, then accounting.
+func (s *Simulation) stepRound() {
+	round := s.round
+	s.actors = s.actors[:0]
+
+	// Phase 1: churn events and actor collection.
+	for i := range s.peers {
+		id := overlay.PeerID(i)
+		p := &s.peers[i]
+
+		if round >= p.death {
+			s.replacePeer(id, p, round)
+		} else if round >= p.catChange {
+			s.catPop[p.cat]--
+			p.cat++
+			s.catPop[p.cat]++
+			p.catChange = addClamped(p.join, metrics.CategoryBound(p.cat))
+		}
+
+		if round >= p.toggle {
+			p.online = !p.online
+			s.led.SetOnline(id, p.online)
+			p.toggle = addClamped(round, s.cfg.Avail.SessionLength(s.r, p.avail, p.online))
+			if s.trace != nil {
+				if p.online {
+					s.trace.Append(round, int32(id), churn.EvOnline)
+				} else {
+					s.trace.Append(round, int32(id), churn.EvOffline)
+				}
+			}
+		}
+
+		// Permanent-loss detection is objective (the data is gone) and
+		// does not require the owner to be online. The outage that
+		// preceded it has been counted when the owner observed it.
+		if s.maint.LostArchive(id) {
+			s.maint.ResetArchive(id)
+			s.col.RecordHardLoss(round, p.cat, int(p.profile))
+		}
+
+		if p.online && s.maint.WantsStep(id) {
+			s.actors = append(s.actors, id)
+		}
+	}
+
+	// Phase 2: maintenance in random order (the paper randomises peer
+	// execution order each round).
+	s.r.Shuffle(len(s.actors), func(i, j int) {
+		s.actors[i], s.actors[j] = s.actors[j], s.actors[i]
+	})
+	for _, id := range s.actors {
+		p := &s.peers[id]
+		res := s.maint.Step(s.r, id)
+		switch res.Outcome {
+		case maintenance.OutcomeRepaired:
+			s.col.RecordRepair(round, p.cat, int(p.profile), false, res.Uploaded, res.Dropped)
+		case maintenance.OutcomeInitialDone:
+			s.col.RecordRepair(round, p.cat, int(p.profile), true, res.Uploaded, res.Dropped)
+		case maintenance.OutcomeStalled:
+			s.col.RecordStall(round, p.cat)
+			if res.OutageStarted {
+				s.col.RecordOutage(round, p.cat, int(p.profile))
+			}
+		case maintenance.OutcomeCanceled:
+			s.cancels++
+		}
+	}
+
+	// Observers act after the population (they contend with nobody).
+	for i := range s.obsSpecs {
+		id := s.observerSlot(i)
+		if s.maint.LostArchive(id) {
+			s.maint.ResetArchive(id)
+		}
+		if s.maint.WantsStep(id) {
+			res := s.maint.Step(s.r, id)
+			switch res.Outcome {
+			case maintenance.OutcomeRepaired, maintenance.OutcomeInitialDone:
+				s.obs.RecordRepair(round, i)
+			}
+		}
+	}
+
+	// Phase 3: accounting.
+	for cat := metrics.Category(0); cat < metrics.NumCategories; cat++ {
+		s.col.AddPeerRounds(round, cat, s.catPop[cat])
+	}
+	s.col.EndRound(round, s.catPop)
+}
+
+// replacePeer handles a departure: blocks vanish, the slot is reused by
+// a fresh age-0 peer (the paper replaces departures immediately). The
+// replacement inherits the departed peer's profile so the population
+// proportions stay exactly stationary, unless the config asks for
+// resampling.
+func (s *Simulation) replacePeer(id overlay.PeerID, p *peer, round int64) {
+	if s.trace != nil {
+		s.trace.Append(round, int32(id), churn.EvLeave)
+	}
+	s.deaths++
+	s.catPop[p.cat]--
+	s.catPop[metrics.Newcomer]++
+	s.led.RemovePeer(id)
+	s.tab.Bump(id)
+	s.maint.Reset(id)
+	profile := int(p.profile)
+	if s.cfg.ResampleProfileOnReplace {
+		profile = -1
+	}
+	s.initPeer(id, round, profile)
+}
+
+// Round returns the current round (for tests).
+func (s *Simulation) Round() int64 { return s.round }
+
+// Ledger exposes the overlay ledger (for tests and diagnostics).
+func (s *Simulation) Ledger() *overlay.Ledger { return s.led }
+
+// Maintainer exposes the protocol state (for tests and diagnostics).
+func (s *Simulation) Maintainer() *maintenance.Maintainer { return s.maint }
+
+// CategoryPopulation returns the current population of a category.
+func (s *Simulation) CategoryPopulation(c metrics.Category) int64 { return s.catPop[c] }

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"testing"
+
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/overlay"
+)
+
+// TestLedgerConsistencyMidRun verifies the full ledger invariants while
+// the simulation is churning, not only at the end.
+func TestLedgerConsistencyMidRun(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Rounds = 600
+	var s *Simulation
+	checks := 0
+	cfg.ProgressEvery = 100
+	cfg.Progress = func(round int64) {
+		if err := s.Ledger().CheckConsistency(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		checks++
+	}
+	var err error
+	s, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if checks != 6 {
+		t.Fatalf("checks = %d, want 6", checks)
+	}
+}
+
+// TestUploadBudgetStretchesEpisodes: with a tiny upload budget the same
+// repairs take more rounds but the archive still converges to full.
+func TestUploadBudgetStretchesEpisodes(t *testing.T) {
+	base := smallConfig()
+	base.Rounds = 400
+	base.Profiles = mustProfiles(t)
+	fast, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFast := fast.Run()
+
+	slow := base
+	slow.UploadBudgetPerRound = 1
+	s, err := New(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSlow := s.Run()
+	// Both must eventually include everyone (16-block archives, 1/round
+	// budget, 400 rounds is plenty).
+	if resFast.FinalIncluded != base.NumPeers || resSlow.FinalIncluded != base.NumPeers {
+		t.Fatalf("included fast=%d slow=%d, want %d",
+			resFast.FinalIncluded, resSlow.FinalIncluded, base.NumPeers)
+	}
+}
+
+func mustProfiles(t *testing.T) *churn.ProfileSet {
+	t.Helper()
+	ps, err := churn.NewProfileSet([]churn.Profile{
+		{Name: "steady", Proportion: 1, Availability: 0.9, Lifetime: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+// TestProfileReplacementPolicy: with like-for-like replacement the
+// profile mix stays exactly stationary; with resampling the population
+// drifts toward immortal profiles (they never die, so their share can
+// only grow).
+func TestProfileReplacementPolicy(t *testing.T) {
+	profiles, err := churn.NewProfileSet([]churn.Profile{
+		{Name: "immortal", Proportion: 0.5, Availability: 0.9, Lifetime: nil},
+		{Name: "brief", Proportion: 0.5, Availability: 0.7,
+			Lifetime: mustUniform(t, 30, 90)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(resample bool) (immortals int) {
+		cfg := smallConfig()
+		cfg.NumPeers = 400
+		cfg.Rounds = 2000
+		cfg.TotalBlocks = 8
+		cfg.DataBlocks = 4
+		cfg.RepairThreshold = 5
+		cfg.Quota = 24
+		cfg.Profiles = profiles
+		cfg.ResampleProfileOnReplace = resample
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		for i := range s.peers {
+			if s.peers[i].death == never {
+				immortals++
+			}
+		}
+		return immortals
+	}
+	stationary := count(false)
+	drifted := count(true)
+	// Like-for-like: exactly half the slots stay immortal (as sampled at
+	// t=0, within binomial noise).
+	if stationary < 160 || stationary > 240 {
+		t.Fatalf("stationary immortals = %d of 400, want ~200", stationary)
+	}
+	// Resampling: every death of a brief peer has a 50% chance of
+	// becoming immortal; after ~22 generations of 30-90-round lifetimes
+	// over 2000 rounds the brief population decays markedly.
+	if drifted <= stationary+40 {
+		t.Fatalf("resampling did not drift: %d vs %d immortals", drifted, stationary)
+	}
+}
+
+// TestOutageVsHardLossAccounting: outages never undercount hard losses,
+// and hard losses imply a preceding outage in the same data.
+func TestOutageVsHardLossAccounting(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Rounds = 6 * churn.Week
+	profiles, err := churn.NewProfileSet([]churn.Profile{
+		{Name: "flaky", Proportion: 0.8, Availability: 0.35,
+			Lifetime: mustUniform(t, churn.Week, 3*churn.Week)},
+		{Name: "solid", Proportion: 0.2, Availability: 0.95, Lifetime: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profiles = profiles
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	outages := res.Collector.TotalLosses()
+	hard := res.Collector.TotalHardLosses()
+	if outages == 0 {
+		t.Fatal("a mostly-flaky population produced no decode outages")
+	}
+	if hard > outages {
+		t.Fatalf("hard losses (%d) exceed outages (%d)", hard, outages)
+	}
+}
+
+// TestObserverSlotsAreNotCandidates: no regular peer may ever place a
+// block on an observer slot.
+func TestObserverSlotsAreNotCandidates(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Rounds = 300
+	cfg.Observers = PaperObservers()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	led := s.Ledger()
+	for i := range cfg.Observers {
+		slot := overlay.PeerID(cfg.NumPeers + i)
+		owners := led.Owners(slot, nil)
+		for _, o := range owners {
+			if int(o) < cfg.NumPeers {
+				t.Fatalf("regular peer %d stored a block on observer slot %d", o, slot)
+			}
+		}
+	}
+}
+
+// TestQuotaNeverExceeded: the metered count respects the quota for all
+// peers throughout a churny run.
+func TestQuotaNeverExceeded(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Rounds = 500
+	cfg.Quota = 20 // tight: 120 peers x 20 = 2400 slots vs 120 x 16 = 1920 demand
+	var s *Simulation
+	cfg.ProgressEvery = 100
+	cfg.Progress = func(round int64) {
+		led := s.Ledger()
+		for id := 0; id < cfg.NumPeers; id++ {
+			if led.MeteredHosted(overlay.PeerID(id)) > int(cfg.Quota) {
+				t.Fatalf("round %d: peer %d over quota", round, id)
+			}
+		}
+	}
+	var err error
+	s, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+}
+
+// TestLossSeriesMonotone: figure 4's cumulative series never decreases.
+func TestLossSeriesMonotone(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Rounds = 2000
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+		series := res.Collector.LossSeries(c)
+		prev := 0.0
+		for i := 0; i < series.Len(); i++ {
+			_, y := series.At(i)
+			if y < prev {
+				t.Fatalf("category %v: cumulative series decreased at %d", c, i)
+			}
+			prev = y
+		}
+	}
+}
+
+// TestBlockConservation: every placement in the ledger belongs to a
+// living owner and sits on a living host (generation-consistent).
+func TestBlockConservation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Rounds = 800
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	led := s.Ledger()
+	total := 0
+	for id := 0; id < cfg.NumPeers; id++ {
+		total += led.Alive(overlay.PeerID(id))
+	}
+	if total != res.FinalPlacements {
+		t.Fatalf("sum of alive (%d) != total placements (%d)", total, res.FinalPlacements)
+	}
+	// No owner can exceed n placed blocks.
+	for id := 0; id < cfg.NumPeers; id++ {
+		if a := led.Alive(overlay.PeerID(id)); a > cfg.TotalBlocks {
+			t.Fatalf("peer %d holds %d > n placements", id, a)
+		}
+	}
+}

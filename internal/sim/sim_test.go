@@ -1,0 +1,452 @@
+package sim
+
+import (
+	"testing"
+
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/dist"
+	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/overlay"
+	"p2pbackup/internal/selection"
+)
+
+// smallConfig is a fast-running configuration preserving the paper's
+// structure (erasure-coded archives, profiles, acceptance rule).
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumPeers = 120
+	cfg.Rounds = 400
+	cfg.TotalBlocks = 16
+	cfg.DataBlocks = 8
+	cfg.RepairThreshold = 10
+	cfg.Quota = 48
+	cfg.PoolSamplePerRound = 32
+	cfg.AcceptHorizon = 48 // short horizon so ages matter quickly
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("paper defaults must validate: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.NumPeers = 1 },
+		func(c *Config) { c.Rounds = 0 },
+		func(c *Config) { c.DataBlocks = 0 },
+		func(c *Config) { c.TotalBlocks = c.DataBlocks },
+		func(c *Config) { c.NumPeers = c.TotalBlocks },
+		func(c *Config) { c.RepairThreshold = c.DataBlocks - 1 },
+		func(c *Config) { c.RepairThreshold = c.TotalBlocks + 1 },
+		func(c *Config) { c.Quota = 0 },
+		func(c *Config) { c.AcceptHorizon = 0 },
+		func(c *Config) { c.PoolSamplePerRound = 0 },
+		func(c *Config) { c.Warmup = -1 },
+		func(c *Config) { c.Warmup = c.Rounds },
+		func(c *Config) { c.Observers = []ObserverSpec{{Name: "x", Age: -1}} },
+		func(c *Config) { c.Quota = 10 }, // demand 256 > capacity 10
+	}
+	for i, mod := range cases {
+		cfg := smallConfig()
+		mod(&cfg)
+		if _, err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	// Pins the paper's parameter tables (T1 in DESIGN.md).
+	cfg := DefaultConfig()
+	if cfg.NumPeers != 25000 {
+		t.Errorf("NumPeers = %d, want 25000", cfg.NumPeers)
+	}
+	if cfg.Rounds != 50000 {
+		t.Errorf("Rounds = %d, want 50000", cfg.Rounds)
+	}
+	if cfg.DataBlocks != 128 || cfg.TotalBlocks != 256 {
+		t.Errorf("code shape %d/%d, want 128/256", cfg.DataBlocks, cfg.TotalBlocks)
+	}
+	if cfg.RepairThreshold != 148 {
+		t.Errorf("threshold = %d, want 148", cfg.RepairThreshold)
+	}
+	if cfg.Quota != 384 {
+		t.Errorf("quota = %d, want 384", cfg.Quota)
+	}
+	if cfg.AcceptHorizon != 90*churn.Day {
+		t.Errorf("horizon = %d, want 90 days", cfg.AcceptHorizon)
+	}
+}
+
+func TestPaperObservers(t *testing.T) {
+	// Pins the observer table (T5 in DESIGN.md).
+	obs := PaperObservers()
+	want := []struct {
+		name string
+		age  int64
+	}{
+		{"elder", 3 * churn.Month},
+		{"senior", 1 * churn.Month},
+		{"adult", 1 * churn.Week},
+		{"teenager", 1 * churn.Day},
+		{"baby", 1 * churn.Hour},
+	}
+	if len(obs) != len(want) {
+		t.Fatalf("%d observers, want %d", len(obs), len(want))
+	}
+	for i, w := range want {
+		if obs[i].Name != w.name || obs[i].Age != w.age {
+			t.Errorf("observer %d = %+v, want %+v", i, obs[i], w)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	cfg := DefaultConfig()
+	s := cfg.Scale(0.1)
+	if s.NumPeers != 2500 || s.Rounds != 5000 {
+		t.Fatalf("scaled = %d peers / %d rounds", s.NumPeers, s.Rounds)
+	}
+	if s.TotalBlocks != cfg.TotalBlocks || s.Quota != cfg.Quota {
+		t.Fatal("intensive parameters must not scale")
+	}
+	tiny := cfg.Scale(0.000001)
+	if tiny.NumPeers <= cfg.TotalBlocks {
+		t.Fatal("scale must clamp population above n")
+	}
+	if tiny.Rounds < 1 {
+		t.Fatal("scale must clamp rounds")
+	}
+}
+
+func TestRunCompletesAndIsConsistent(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	if err := s.Ledger().CheckConsistency(); err != nil {
+		t.Fatalf("ledger inconsistent after run: %v", err)
+	}
+	// With moderate churn most peers should be included by the end.
+	if res.FinalIncluded < s.cfg.NumPeers/2 {
+		t.Fatalf("only %d of %d peers included", res.FinalIncluded, s.cfg.NumPeers)
+	}
+	// Peer-round accounting: total peer rounds == peers x rounds.
+	var total int64
+	for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+		total += res.Collector.Counts(c).PeerRounds
+	}
+	want := int64(s.cfg.NumPeers) * s.cfg.Rounds
+	if total != want {
+		t.Fatalf("peer rounds = %d, want %d", total, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Observers = PaperObservers()
+	run := func() *Result {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+	a, b := run(), run()
+	if a.Deaths != b.Deaths {
+		t.Fatalf("deaths differ: %d vs %d", a.Deaths, b.Deaths)
+	}
+	if a.FinalPlacements != b.FinalPlacements {
+		t.Fatalf("placements differ: %d vs %d", a.FinalPlacements, b.FinalPlacements)
+	}
+	if a.Collector.TotalRepairs() != b.Collector.TotalRepairs() {
+		t.Fatalf("repairs differ: %d vs %d", a.Collector.TotalRepairs(), b.Collector.TotalRepairs())
+	}
+	if a.Collector.TotalLosses() != b.Collector.TotalLosses() {
+		t.Fatalf("losses differ: %d vs %d", a.Collector.TotalLosses(), b.Collector.TotalLosses())
+	}
+	for i := 0; i < a.Observers.Len(); i++ {
+		if a.Observers.Count(i) != b.Observers.Count(i) {
+			t.Fatalf("observer %d differs: %d vs %d", i, a.Observers.Count(i), b.Observers.Count(i))
+		}
+	}
+	// Different seeds diverge.
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	s2, _ := New(cfg2)
+	c := s2.Run()
+	if c.Deaths == a.Deaths && c.Collector.TotalRepairs() == a.Collector.TotalRepairs() &&
+		c.FinalPlacements == a.FinalPlacements {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestCategoryPopulationTracksAges(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Rounds = 5 * churn.Month // long enough for promotions
+	cfg.NumPeers = 60
+	cfg.TotalBlocks = 8
+	cfg.DataBlocks = 4
+	cfg.RepairThreshold = 5
+	cfg.Quota = 24
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	_ = res
+	// After the run, recount categories from engine state.
+	var want [metrics.NumCategories]int64
+	for i := range s.peers {
+		age := s.round - s.peers[i].join
+		want[metrics.CategoryOf(age)]++
+	}
+	for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+		if got := s.CategoryPopulation(c); got != want[c] {
+			t.Fatalf("category %v population = %d, recount %d", c, got, want[c])
+		}
+	}
+	var sum int64
+	for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+		sum += s.CategoryPopulation(c)
+	}
+	if sum != int64(cfg.NumPeers) {
+		t.Fatalf("category populations sum to %d, want %d", sum, cfg.NumPeers)
+	}
+}
+
+func TestImmortalHighAvailabilityNeverLoses(t *testing.T) {
+	// A population of always-online immortals must complete initial
+	// backups and then never repair or lose anything.
+	profiles, err := churn.NewProfileSet([]churn.Profile{
+		{Name: "immortal", Proportion: 1, Availability: 1, Lifetime: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.Profiles = profiles
+	cfg.Avail = churn.AlwaysOnline{}
+	cfg.Rounds = 200
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Deaths != 0 {
+		t.Fatalf("immortals died: %d", res.Deaths)
+	}
+	if res.Collector.TotalLosses() != 0 {
+		t.Fatalf("losses in a perfect system: %d", res.Collector.TotalLosses())
+	}
+	if res.Collector.TotalRepairs() != 0 {
+		t.Fatalf("maintenance repairs in a perfect system: %d", res.Collector.TotalRepairs())
+	}
+	if res.FinalIncluded != cfg.NumPeers {
+		t.Fatalf("included %d of %d", res.FinalIncluded, cfg.NumPeers)
+	}
+	// Every archive is full and visible.
+	for id := 0; id < cfg.NumPeers; id++ {
+		if s.Ledger().Visible(overlay.PeerID(id)) != cfg.TotalBlocks {
+			t.Fatalf("peer %d visible = %d, want %d", id, s.Ledger().Visible(overlay.PeerID(id)), cfg.TotalBlocks)
+		}
+	}
+}
+
+func TestChurnCausesRepairsAndDeaths(t *testing.T) {
+	// Short-lived, poorly available peers force maintenance activity.
+	profiles, err := churn.NewProfileSet([]churn.Profile{
+		{Name: "fragile", Proportion: 0.5, Availability: 0.6,
+			Lifetime: mustUniform(t, 2*churn.Week, 6*churn.Week)},
+		{Name: "solid", Proportion: 0.5, Availability: 0.95, Lifetime: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.Profiles = profiles
+	cfg.Rounds = 8 * churn.Week
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Deaths == 0 {
+		t.Fatal("fragile peers never died")
+	}
+	if res.Collector.TotalRepairs() == 0 {
+		t.Fatal("churn produced no repairs")
+	}
+	if err := s.Ledger().CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustUniform(t *testing.T, lo, hi float64) dist.Sampler {
+	t.Helper()
+	u, err := dist.NewUniform(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestObserversRepairAndAgeOrdering(t *testing.T) {
+	// Observers with very different ages: the baby must repair at least
+	// as often as the elder (the paper's Figure 3 ordering), because
+	// the elder recruits stable elders while the baby cannot.
+	cfg := smallConfig()
+	cfg.Rounds = 10 * churn.Week
+	cfg.AcceptHorizon = 2 * churn.Week
+	cfg.Observers = []ObserverSpec{
+		{Name: "elder", Age: 2 * churn.Week},
+		{Name: "baby", Age: 1},
+	}
+	// Churny population in which age is a strong signal: fragile peers
+	// never survive past the horizon, so peers older than L are all
+	// durable - exactly the regime the paper's heuristic exploits.
+	profiles, err := churn.NewProfileSet([]churn.Profile{
+		{Name: "fast", Proportion: 0.7, Availability: 0.35,
+			Lifetime: mustUniform(t, 3*churn.Day, 2*churn.Week)},
+		{Name: "slow", Proportion: 0.3, Availability: 0.9, Lifetime: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profiles = profiles
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	elder, baby := res.Observers.Count(0), res.Observers.Count(1)
+	if baby == 0 {
+		t.Fatal("baby observer never repaired (including initial)")
+	}
+	if elder > baby {
+		t.Fatalf("elder repaired more than baby: %d vs %d", elder, baby)
+	}
+	// Observer series exist.
+	if res.Observers.Series(1).Len() == 0 {
+		t.Fatal("observer series empty")
+	}
+	// Observers did not eat host quota.
+	led := s.Ledger()
+	for id := 0; id < cfg.NumPeers; id++ {
+		if led.MeteredHosted(overlay.PeerID(id)) > led.Hosted(overlay.PeerID(id)) {
+			t.Fatal("metered exceeds hosted")
+		}
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Rounds = 300
+	cfg.RecordTrace = true
+	// Short-lived profile to force joins/leaves.
+	profiles, err := churn.NewProfileSet([]churn.Profile{
+		{Name: "brief", Proportion: 1, Availability: 0.7,
+			Lifetime: mustUniform(t, 50, 150)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profiles = profiles
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Trace == nil || len(res.Trace.Events) == 0 {
+		t.Fatal("trace not recorded")
+	}
+	// Every peer joined at round 0; deaths are recorded as leave+join.
+	joins, leaves := 0, 0
+	for _, e := range res.Trace.Events {
+		switch e.Kind {
+		case churn.EvJoin:
+			joins++
+		case churn.EvLeave:
+			leaves++
+		}
+	}
+	if int64(leaves) != res.Deaths {
+		t.Fatalf("trace leaves = %d, deaths = %d", leaves, res.Deaths)
+	}
+	if joins != cfg.NumPeers+leaves {
+		t.Fatalf("trace joins = %d, want %d", joins, cfg.NumPeers+leaves)
+	}
+	// Lifetimes extracted from the trace are within the profile range.
+	for _, l := range res.Trace.Lifetimes() {
+		if l < 50 || l > 151 {
+			t.Fatalf("trace lifetime %v outside profile range", l)
+		}
+	}
+}
+
+func TestStrategySwap(t *testing.T) {
+	// The engine must run with every registered strategy.
+	for _, name := range selection.Names() {
+		strat, err := selection.ByName(name, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallConfig()
+		cfg.Rounds = 100
+		cfg.NumPeers = 60
+		cfg.TotalBlocks = 8
+		cfg.DataBlocks = 4
+		cfg.RepairThreshold = 5
+		cfg.Quota = 24
+		cfg.Strategy = strat
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := s.Run()
+		if res.FinalIncluded == 0 {
+			t.Fatalf("%s: nobody included", name)
+		}
+		if err := s.Ledger().CheckConsistency(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Rounds = 100
+	cfg.ProgressEvery = 25
+	var calls []int64
+	cfg.Progress = func(round int64) { calls = append(calls, round) }
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if len(calls) != 4 || calls[0] != 25 || calls[3] != 100 {
+		t.Fatalf("progress calls = %v", calls)
+	}
+}
+
+func TestWarmupExcludesEarlyEvents(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Rounds = 300
+	cfg.Warmup = 200
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	var total int64
+	for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+		total += res.Collector.Counts(c).PeerRounds
+	}
+	want := int64(cfg.NumPeers) * (cfg.Rounds - cfg.Warmup)
+	if total != want {
+		t.Fatalf("measured peer rounds = %d, want %d", total, want)
+	}
+}

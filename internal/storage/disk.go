@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DiskStore is an on-disk content-addressed Store. Blocks live under
+// root/xx/<hex id> where xx is the first id byte, written atomically
+// (temp file + rename) so crashes never leave half blocks under their
+// final name. The index is rebuilt by scanning on open. It is safe for
+// concurrent use.
+type DiskStore struct {
+	root  string
+	mu    sync.RWMutex
+	sizes map[BlockID]int64
+	used  int64
+	quota int64
+}
+
+// OpenDiskStore opens (creating if needed) a store rooted at dir with a
+// byte quota (0 = unlimited), scanning existing blocks into the index.
+func OpenDiskStore(dir string, quotaBytes int64) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create root: %w", err)
+	}
+	s := &DiskStore{root: dir, sizes: make(map[BlockID]int64), quota: quotaBytes}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() || len(e.Name()) != 2 {
+			continue
+		}
+		sub, err := os.ReadDir(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range sub {
+			if f.IsDir() || strings.HasSuffix(f.Name(), ".tmp") {
+				continue
+			}
+			id, err := ParseBlockID(f.Name())
+			if err != nil {
+				continue // foreign file; ignore
+			}
+			info, err := f.Info()
+			if err != nil {
+				return nil, err
+			}
+			s.sizes[id] = info.Size()
+			s.used += info.Size()
+		}
+	}
+	return s, nil
+}
+
+// Root returns the store's directory.
+func (s *DiskStore) Root() string { return s.root }
+
+func (s *DiskStore) path(id BlockID) string {
+	hexID := id.String()
+	return filepath.Join(s.root, hexID[:2], hexID)
+}
+
+// Put implements Store.
+func (s *DiskStore) Put(data []byte) (BlockID, error) {
+	id := IDOf(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sizes[id]; ok {
+		return id, nil
+	}
+	if s.quota > 0 && s.used+int64(len(data)) > s.quota {
+		return BlockID{}, fmt.Errorf("%w: %d + %d > %d", ErrQuota, s.used, len(data), s.quota)
+	}
+	final := s.path(id)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return BlockID{}, err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), id.String()+".*.tmp")
+	if err != nil {
+		return BlockID{}, err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return BlockID{}, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return BlockID{}, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return BlockID{}, err
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return BlockID{}, err
+	}
+	s.sizes[id] = int64(len(data))
+	s.used += int64(len(data))
+	return id, nil
+}
+
+// Get implements Store; content is re-hashed on every read.
+func (s *DiskStore) Get(id BlockID) ([]byte, error) {
+	s.mu.RLock()
+	_, ok := s.sizes[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	data, err := os.ReadFile(s.path(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return nil, err
+	}
+	if IDOf(data) != id {
+		return nil, fmt.Errorf("%w: %s", ErrCorrupted, id)
+	}
+	return data, nil
+}
+
+// Has implements Store.
+func (s *DiskStore) Has(id BlockID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.sizes[id]
+	return ok
+}
+
+// Delete implements Store.
+func (s *DiskStore) Delete(id BlockID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size, ok := s.sizes[id]
+	if !ok {
+		return nil
+	}
+	if err := os.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	delete(s.sizes, id)
+	s.used -= size
+	return nil
+}
+
+// Len implements Store.
+func (s *DiskStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sizes)
+}
+
+// UsedBytes implements Store.
+func (s *DiskStore) UsedBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.used
+}
+
+// IDs implements Store.
+func (s *DiskStore) IDs() []BlockID {
+	s.mu.RLock()
+	ids := make([]BlockID, 0, len(s.sizes))
+	for id := range s.sizes {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool {
+		for b := range ids[i] {
+			if ids[i][b] != ids[j][b] {
+				return ids[i][b] < ids[j][b]
+			}
+		}
+		return false
+	})
+	return ids
+}
+
+var _ Store = (*MemStore)(nil)
+var _ Store = (*DiskStore)(nil)

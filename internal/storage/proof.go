@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// Proofs of storage (the paper's ref [18], realised with HMACs instead
+// of bilinear pairings): the owner precomputes, while it still holds
+// the block, a set of (nonce, HMAC-SHA256(nonce, block)) pairs. To
+// audit a holder it sends a fresh nonce from the set; only a party
+// holding the full block content can answer correctly. Each challenge
+// is single-use.
+
+// NonceSize is the challenge nonce length in bytes.
+const NonceSize = 24
+
+// Challenge is one precomputed audit: the nonce to send and the answer
+// to expect. The owner keeps both; the holder only ever sees nonces.
+type Challenge struct {
+	Nonce    [NonceSize]byte
+	Expected [sha256.Size]byte
+}
+
+// Respond computes the holder-side answer to an audit nonce.
+func Respond(block []byte, nonce [NonceSize]byte) [sha256.Size]byte {
+	mac := hmac.New(sha256.New, nonce[:])
+	mac.Write(block)
+	var out [sha256.Size]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// GenerateChallenges precomputes count single-use audits for a block,
+// drawing nonces from crypto/rand.
+func GenerateChallenges(block []byte, count int) ([]Challenge, error) {
+	if count < 1 {
+		return nil, errors.New("storage: challenge count must be >= 1")
+	}
+	if len(block) == 0 {
+		return nil, errors.New("storage: cannot challenge an empty block")
+	}
+	out := make([]Challenge, count)
+	for i := range out {
+		if _, err := rand.Read(out[i].Nonce[:]); err != nil {
+			return nil, fmt.Errorf("storage: nonce generation: %w", err)
+		}
+		out[i].Expected = Respond(block, out[i].Nonce)
+	}
+	return out, nil
+}
+
+// Verify checks a holder's response against a precomputed challenge in
+// constant time.
+func (c Challenge) Verify(response [sha256.Size]byte) bool {
+	return hmac.Equal(c.Expected[:], response[:])
+}
+
+// Auditor tracks the unused challenges for the blocks an owner has
+// placed remotely. It is not safe for concurrent use.
+type Auditor struct {
+	pending map[BlockID][]Challenge
+}
+
+// NewAuditor returns an empty auditor.
+func NewAuditor() *Auditor {
+	return &Auditor{pending: make(map[BlockID][]Challenge)}
+}
+
+// Add registers precomputed challenges for a block.
+func (a *Auditor) Add(id BlockID, cs []Challenge) {
+	a.pending[id] = append(a.pending[id], cs...)
+}
+
+// Remaining returns how many unused challenges are left for a block.
+func (a *Auditor) Remaining(id BlockID) int { return len(a.pending[id]) }
+
+// ErrNoChallenges reports an exhausted challenge supply.
+var ErrNoChallenges = errors.New("storage: no challenges left for block")
+
+// Next pops the next unused challenge for a block.
+func (a *Auditor) Next(id BlockID) (Challenge, error) {
+	cs := a.pending[id]
+	if len(cs) == 0 {
+		return Challenge{}, fmt.Errorf("%w: %s", ErrNoChallenges, id)
+	}
+	c := cs[0]
+	a.pending[id] = cs[1:]
+	if len(a.pending[id]) == 0 {
+		delete(a.pending, id)
+	}
+	return c, nil
+}
+
+// Forget drops all challenges for a block (e.g. after the placement is
+// abandoned).
+func (a *Auditor) Forget(id BlockID) { delete(a.pending, id) }

@@ -1,0 +1,96 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestProofRoundTrip(t *testing.T) {
+	block := []byte("the block the partner must really hold")
+	cs, err := GenerateChallenges(block, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 5 {
+		t.Fatalf("got %d challenges", len(cs))
+	}
+	for i, c := range cs {
+		resp := Respond(block, c.Nonce)
+		if !c.Verify(resp) {
+			t.Fatalf("challenge %d: honest response rejected", i)
+		}
+	}
+	// Nonces must be distinct (single-use audits).
+	seen := map[[NonceSize]byte]bool{}
+	for _, c := range cs {
+		if seen[c.Nonce] {
+			t.Fatal("duplicate nonce")
+		}
+		seen[c.Nonce] = true
+	}
+}
+
+func TestProofDetectsWrongContent(t *testing.T) {
+	block := []byte("original content")
+	cs, err := GenerateChallenges(block, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A holder with modified content cannot answer.
+	tampered := append([]byte(nil), block...)
+	tampered[0] ^= 1
+	if cs[0].Verify(Respond(tampered, cs[0].Nonce)) {
+		t.Fatal("tampered block passed audit")
+	}
+	// A holder with no content cannot answer either.
+	if cs[0].Verify(Respond(nil, cs[0].Nonce)) {
+		t.Fatal("empty response passed audit")
+	}
+	// Replaying the answer for a different nonce fails.
+	cs2, _ := GenerateChallenges(block, 1)
+	if cs2[0].Verify(Respond(block, cs[0].Nonce)) {
+		t.Fatal("cross-nonce replay passed audit")
+	}
+}
+
+func TestGenerateChallengesValidation(t *testing.T) {
+	if _, err := GenerateChallenges([]byte("x"), 0); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := GenerateChallenges(nil, 1); err == nil {
+		t.Fatal("empty block accepted")
+	}
+}
+
+func TestAuditor(t *testing.T) {
+	block := []byte("audited block")
+	id := IDOf(block)
+	cs, err := GenerateChallenges(block, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAuditor()
+	a.Add(id, cs)
+	if a.Remaining(id) != 3 {
+		t.Fatalf("Remaining = %d", a.Remaining(id))
+	}
+	// Pop all three; each verifies the honest holder.
+	for i := 0; i < 3; i++ {
+		c, err := a.Next(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Verify(Respond(block, c.Nonce)) {
+			t.Fatal("auditor challenge failed against honest holder")
+		}
+	}
+	if _, err := a.Next(id); !errors.Is(err, ErrNoChallenges) {
+		t.Fatalf("exhausted auditor: err = %v", err)
+	}
+	// Forget clears state.
+	a.Add(id, cs[:1])
+	a.Forget(id)
+	if a.Remaining(id) != 0 {
+		t.Fatal("Forget left challenges")
+	}
+}

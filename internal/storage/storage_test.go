@@ -1,0 +1,258 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testStores(t *testing.T, f func(t *testing.T, s Store)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) { f(t, NewMemStore(0)) })
+	t.Run("disk", func(t *testing.T) {
+		s, err := OpenDiskStore(t.TempDir(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(t, s)
+	})
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	testStores(t, func(t *testing.T, s Store) {
+		data := []byte("hello, backup world")
+		id, err := s.Put(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != IDOf(data) {
+			t.Fatal("id is not the content hash")
+		}
+		got, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("content mismatch")
+		}
+		if !s.Has(id) || s.Len() != 1 || s.UsedBytes() != int64(len(data)) {
+			t.Fatal("bookkeeping wrong")
+		}
+		// Idempotent put.
+		if _, err := s.Put(data); err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != 1 {
+			t.Fatal("duplicate put created a second block")
+		}
+	})
+}
+
+func TestGetMissing(t *testing.T) {
+	testStores(t, func(t *testing.T, s Store) {
+		if _, err := s.Get(IDOf([]byte("nope"))); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("err = %v, want ErrNotFound", err)
+		}
+		if s.Has(IDOf([]byte("nope"))) {
+			t.Fatal("Has on missing block")
+		}
+	})
+}
+
+func TestDelete(t *testing.T) {
+	testStores(t, func(t *testing.T, s Store) {
+		id, _ := s.Put([]byte("data"))
+		if err := s.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		if s.Has(id) || s.Len() != 0 || s.UsedBytes() != 0 {
+			t.Fatal("delete left state")
+		}
+		if err := s.Delete(id); err != nil {
+			t.Fatal("deleting absent block must be a no-op")
+		}
+	})
+}
+
+func TestQuota(t *testing.T) {
+	for _, mk := range []func() Store{
+		func() Store { return NewMemStore(10) },
+		func() Store {
+			s, err := OpenDiskStore(t.TempDir(), 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	} {
+		s := mk()
+		if _, err := s.Put([]byte("12345")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Put([]byte("678901")); !errors.Is(err, ErrQuota) {
+			t.Fatalf("quota breach: err = %v", err)
+		}
+		// Freeing space lets the put through.
+		if err := s.Delete(IDOf([]byte("12345"))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Put([]byte("678901")); err != nil {
+			t.Fatalf("put after free: %v", err)
+		}
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	testStores(t, func(t *testing.T, s Store) {
+		for _, d := range [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")} {
+			if _, err := s.Put(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ids := s.IDs()
+		if len(ids) != 4 {
+			t.Fatalf("IDs len = %d", len(ids))
+		}
+		for i := 1; i < len(ids); i++ {
+			if bytes.Compare(ids[i-1][:], ids[i][:]) >= 0 {
+				t.Fatal("IDs not sorted")
+			}
+		}
+	})
+}
+
+func TestMemCorruptionDetected(t *testing.T) {
+	s := NewMemStore(0)
+	id, _ := s.Put([]byte("precious data"))
+	if err := s.Corrupt(id, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(id); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("err = %v, want ErrCorrupted", err)
+	}
+	if err := s.Corrupt(IDOf([]byte("zzz")), 0); !errors.Is(err, ErrNotFound) {
+		t.Fatal("corrupting missing block must fail")
+	}
+}
+
+func TestDiskCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("precious data on disk")
+	id, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte behind the store's back.
+	path := filepath.Join(dir, id.String()[:2], id.String())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(id); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("err = %v, want ErrCorrupted", err)
+	}
+}
+
+func TestDiskReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, _ := s.Put([]byte("block one"))
+	id2, _ := s.Put([]byte("block two"))
+	want := s.UsedBytes()
+
+	s2, err := OpenDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 || s2.UsedBytes() != want {
+		t.Fatalf("reopened: len=%d used=%d", s2.Len(), s2.UsedBytes())
+	}
+	for _, id := range []BlockID{id1, id2} {
+		if !s2.Has(id) {
+			t.Fatalf("reopened store missing %s", id)
+		}
+		if _, err := s2.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDiskIgnoresForeignAndTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "ab"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ab", "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ab", "deadbeef.123.tmp"), []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("foreign files indexed: %d", s.Len())
+	}
+}
+
+func TestBlockIDParse(t *testing.T) {
+	id := IDOf([]byte("x"))
+	parsed, err := ParseBlockID(id.String())
+	if err != nil || parsed != id {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if _, err := ParseBlockID("zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if _, err := ParseBlockID("abcd"); err == nil {
+		t.Fatal("short id accepted")
+	}
+}
+
+func TestMemStoreConcurrency(t *testing.T) {
+	s := NewMemStore(0)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 200; i++ {
+				data := []byte{byte(g), byte(i), byte(i >> 4)}
+				id, err := s.Put(data)
+				if err != nil {
+					done <- err
+					return
+				}
+				if _, err := s.Get(id); err != nil {
+					done <- err
+					return
+				}
+				if i%3 == 0 {
+					if err := s.Delete(id); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package p2pbackup is a peer-to-peer backup system with
+// lifetime-aware partner selection, reproducing Bernard & Le Fessant,
+// "Optimizing peer-to-peer backup using lifetime estimations"
+// (DaMaP/EDBT workshop 2009).
+//
+// The library has two halves:
+//
+//   - A live backup system: archives are encrypted, Reed-Solomon coded
+//     (any k of n blocks restore), spread over partner peers chosen by
+//     the paper's age-based acceptance rule, monitored, audited with
+//     proofs of storage, and repaired when too few blocks are visible.
+//     See NewNode, NewDirectory and the examples/ directory.
+//
+//   - A discrete-event simulator reproducing the paper's evaluation:
+//     25,000-peer populations with the paper's four behaviour profiles,
+//     repair-threshold sweeps (figures 1-2), fixed-age observers
+//     (figure 3) and cumulative loss tracking (figure 4). See
+//     DefaultSimConfig, NewSimulation and RunExperiment.
+//
+// This root package is a facade: it re-exports the stable surface of
+// the internal packages so downstream code has one import.
+package p2pbackup
+
+import (
+	"p2pbackup/internal/backup"
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/costmodel"
+	"p2pbackup/internal/erasure"
+	"p2pbackup/internal/experiments"
+	"p2pbackup/internal/lifetime"
+	"p2pbackup/internal/node"
+	"p2pbackup/internal/p2pnet"
+	"p2pbackup/internal/selection"
+	"p2pbackup/internal/sim"
+	"p2pbackup/internal/storage"
+)
+
+// ---------------------------------------------------------------------------
+// Simulation (the paper's evaluation)
+
+// SimConfig parameterises a simulation run; see DefaultSimConfig for
+// the paper's parameters.
+type SimConfig = sim.Config
+
+// SimResult is a finished run's metrics.
+type SimResult = sim.Result
+
+// Simulation is a configured run.
+type Simulation = sim.Simulation
+
+// ObserverSpec declares a fixed-age observer peer (figure 3).
+type ObserverSpec = sim.ObserverSpec
+
+// DefaultSimConfig returns the paper's full-scale parameters (25,000
+// peers, 50,000 rounds, n=256, k=128, threshold 148, quota 384).
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// PaperObservers returns the paper's five observers (3 months, 1
+// month, 1 week, 1 day, 1 hour).
+func PaperObservers() []ObserverSpec { return sim.PaperObservers() }
+
+// NewSimulation validates the config and builds a run.
+func NewSimulation(cfg SimConfig) (*Simulation, error) { return sim.New(cfg) }
+
+// RunSimulation is the one-call variant of NewSimulation().Run().
+func RunSimulation(cfg SimConfig) (*SimResult, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// ExperimentOptions configures RunExperiment.
+type ExperimentOptions = experiments.Options
+
+// ExperimentSummary reports an experiment's outputs.
+type ExperimentSummary = experiments.Summary
+
+// RunExperiment regenerates a paper table or figure by id: "fig1",
+// "fig2", "fig3", "fig4", "costmodel", "ablation-strategy",
+// "ablation-availability", "ablation-horizon", or "all".
+func RunExperiment(name string, opts ExperimentOptions) ([]ExperimentSummary, error) {
+	return experiments.Run(name, opts)
+}
+
+// ExperimentNames lists the runnable experiment ids.
+func ExperimentNames() []string { return experiments.Names() }
+
+// PaperProfiles returns the paper's four behaviour profiles (durable,
+// stable, unstable, erratic).
+func PaperProfiles() *churn.ProfileSet { return churn.PaperProfiles() }
+
+// ---------------------------------------------------------------------------
+// Erasure coding
+
+// Encoder is a systematic Reed-Solomon codec over GF(2^8).
+type Encoder = erasure.Encoder
+
+// NewEncoder returns a codec for k data and m parity shards: any k of
+// the k+m shards reconstruct the data. The paper uses k = m = 128.
+func NewEncoder(k, m int) (*Encoder, error) { return erasure.New(k, m) }
+
+// ---------------------------------------------------------------------------
+// Lifetime estimation
+
+// LifetimeEstimator predicts expected remaining lifetime from age.
+type LifetimeEstimator = lifetime.Estimator
+
+// AgeRank is the paper's non-parametric estimator: rank peers by age,
+// capped at the stability horizon.
+type AgeRank = lifetime.AgeRank
+
+// ParetoModel is a fitted Pareto lifetime model.
+type ParetoModel = lifetime.ParetoModel
+
+// FitParetoLifetimes fits a Pareto model to observed complete
+// lifetimes by maximum likelihood.
+func FitParetoLifetimes(samples []float64) (ParetoModel, error) {
+	return lifetime.FitPareto(samples)
+}
+
+// ---------------------------------------------------------------------------
+// Selection strategies
+
+// Strategy decides partnerships and ranks candidates.
+type Strategy = selection.Strategy
+
+// PeerInfo describes a peer to a strategy.
+type PeerInfo = selection.PeerInfo
+
+// AgeBasedStrategy is the paper's acceptance rule with horizon L (in
+// rounds).
+func AgeBasedStrategy(horizon int64) Strategy { return selection.AgeBased{L: horizon} }
+
+// StrategyByName resolves "age", "random", "availability-oracle",
+// "lifetime-oracle" or "youngest-first".
+func StrategyByName(name string, horizon int64) (Strategy, error) {
+	return selection.ByName(name, horizon)
+}
+
+// AcceptanceFunction evaluates the paper's f(p1, p2) for acceptor age
+// s1, requester age s2 and horizon L, all in rounds.
+func AcceptanceFunction(s1, s2, l int64) float64 {
+	return selection.AcceptanceFunction(s1, s2, l)
+}
+
+// ---------------------------------------------------------------------------
+// Live backup system
+
+// Node is a live backup peer (owner and host roles).
+type Node = node.Node
+
+// NodeConfig assembles a Node.
+type NodeConfig = node.Config
+
+// Directory is the membership/age view nodes select partners from.
+type Directory = node.Directory
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory { return node.NewDirectory() }
+
+// NewNode starts a backup peer.
+func NewNode(cfg NodeConfig) (*Node, error) { return node.New(cfg) }
+
+// RecoverFromNetwork rebuilds an owner's archives from the network
+// given only its identity and peers to ask (total-local-loss restore).
+func RecoverFromNetwork(name string, id *backup.Identity, t p2pnet.Transport, askPeers []string) ([][]backup.FileEntry, error) {
+	return node.RecoverFromNetwork(name, id, t, askPeers)
+}
+
+// FileEntry is one file in an archive.
+type FileEntry = backup.FileEntry
+
+// Identity is an owner key pair.
+type Identity = backup.Identity
+
+// NewIdentity generates an owner key pair.
+func NewIdentity() (*Identity, error) { return backup.NewIdentity() }
+
+// ArchiveParams is the erasure shape of an archive.
+type ArchiveParams = backup.Params
+
+// DefaultArchiveParams returns the paper's 128+128 shape.
+func DefaultArchiveParams() ArchiveParams { return backup.DefaultParams() }
+
+// CollectDir captures a directory tree into archive entries.
+func CollectDir(root string) ([]FileEntry, error) { return backup.CollectDir(root) }
+
+// WriteDir materialises restored entries under root.
+func WriteDir(root string, entries []FileEntry) error { return backup.WriteDir(root, entries) }
+
+// InMemTransport is an in-process transport with fault injection.
+type InMemTransport = p2pnet.InMemTransport
+
+// NewInMemTransport returns an in-process message fabric.
+func NewInMemTransport(seed uint64) *InMemTransport { return p2pnet.NewInMemTransport(seed) }
+
+// TCPTransport carries the protocol over real sockets.
+type TCPTransport = p2pnet.TCPTransport
+
+// NewTCPTransport returns a TCP transport with default timeouts.
+func NewTCPTransport() *TCPTransport { return p2pnet.NewTCPTransport() }
+
+// MemStore is an in-memory block store.
+func NewMemStore(quotaBytes int64) storage.Store { return storage.NewMemStore(quotaBytes) }
+
+// OpenDiskStore opens an on-disk content-addressed block store.
+func OpenDiskStore(dir string, quotaBytes int64) (storage.Store, error) {
+	return storage.OpenDiskStore(dir, quotaBytes)
+}
+
+// ---------------------------------------------------------------------------
+// Cost model (section 2.2.4)
+
+// RepairCostEstimate returns the transfer time of a repair replacing d
+// blocks of a paper-shaped archive on the paper's reference DSL link.
+func RepairCostEstimate(d int) (costmodel.RepairCost, error) {
+	return costmodel.EstimateRepair(costmodel.DSL2009(), costmodel.PaperCode(), d)
+}
