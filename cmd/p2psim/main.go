@@ -13,12 +13,18 @@
 //
 // Scales: smoke (600 peers, 20k rounds), default (2,500 peers, 50k
 // rounds), paper (25,000 peers, 50k rounds - slow).
+//
+// Campaigns run on the experiments.Runner: simulations execute over a
+// bounded worker pool and stream typed events; Ctrl-C cancels the
+// whole campaign cleanly, including simulations already in flight.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"time"
@@ -35,6 +41,9 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress messages")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opts := experiments.Options{
 		Scale:       experiments.Scale(*scale),
 		Seed:        *seed,
@@ -47,9 +56,13 @@ func main() {
 		}
 	}
 	start := time.Now()
-	sums, err := experiments.Run(*exp, opts)
+	sums, err := experiments.RunCtx(ctx, *exp, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "p2psim:", err)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "p2psim: interrupted, campaign cancelled")
+		} else {
+			fmt.Fprintln(os.Stderr, "p2psim:", err)
+		}
 		os.Exit(1)
 	}
 	for _, s := range sums {

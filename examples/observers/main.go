@@ -2,9 +2,13 @@
 // fixed-age observers (3 months down to 1 hour) maintain an archive in
 // the same churning population; their cumulative repair counts separate
 // by orders of magnitude because age gates who will partner with them.
+//
+// The run executes as a one-variant campaign on experiments.Runner with
+// per-round progress heartbeats streaming from the event channel.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -21,12 +25,21 @@ func main() {
 	cfg.Rounds = 12000 // 500 days
 
 	fmt.Fprintln(os.Stderr, "running focal simulation (threshold 148, five observers)...")
-	focal, err := experiments.RunFocal(cfg, func(msg string) {
-		fmt.Fprintln(os.Stderr, "  "+msg)
-	})
-	if err != nil {
-		log.Fatal(err)
+	runner := experiments.Runner{Parallelism: 1, RoundEvents: true}
+	var row *experiments.Row
+	for ev := range runner.Stream(context.Background(), experiments.FocalCampaign(cfg)) {
+		switch ev.Kind {
+		case experiments.EventProgress:
+			fmt.Fprintln(os.Stderr, "  "+ev.Message)
+		case experiments.EventRow:
+			row = ev.Row
+		case experiments.EventDone:
+			if ev.Err != nil {
+				log.Fatal(ev.Err)
+			}
+		}
 	}
+	focal := experiments.FocalFromRow(*row)
 
 	fmt.Printf("\ncumulative repairs after %.0f days (paper's figure 3 ordering):\n",
 		float64(cfg.Rounds)/24)

@@ -1,6 +1,10 @@
 // Quickstart: run a small lifetime-aware backup simulation and print
 // the headline numbers - repair and loss rates per age category, the
 // quantities the paper's evaluation revolves around.
+//
+// It also attaches a custom sim.Probe: the engine streams every
+// protocol event (churn, repairs, losses) to pluggable observers, so
+// bespoke measurement needs no engine changes.
 package main
 
 import (
@@ -10,7 +14,33 @@ import (
 	p2pbackup "p2pbackup"
 
 	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/sim"
 )
+
+// uploadHistogram is a custom probe: it buckets repair events by blocks
+// uploaded, a measurement the built-in collector does not keep.
+type uploadHistogram struct {
+	p2pbackup.BaseProbe
+	sessions int64
+	buckets  [5]int64 // <16, <32, <64, <128, >=128 blocks
+}
+
+func (h *uploadHistogram) OnRepair(e sim.RepairEvent) {
+	switch {
+	case e.Uploaded < 16:
+		h.buckets[0]++
+	case e.Uploaded < 32:
+		h.buckets[1]++
+	case e.Uploaded < 64:
+		h.buckets[2]++
+	case e.Uploaded < 128:
+		h.buckets[3]++
+	default:
+		h.buckets[4]++
+	}
+}
+
+func (h *uploadHistogram) OnChurn(e sim.ChurnEvent) { h.sessions++ }
 
 func main() {
 	cfg := p2pbackup.DefaultSimConfig()
@@ -19,6 +49,8 @@ func main() {
 	cfg.NumPeers = 600
 	cfg.Rounds = 6000 // 250 days of hourly rounds
 	cfg.Observers = p2pbackup.PaperObservers()
+	hist := &uploadHistogram{}
+	cfg.Probes = []p2pbackup.Probe{hist}
 
 	res, err := p2pbackup.RunSimulation(cfg)
 	if err != nil {
@@ -41,6 +73,14 @@ func main() {
 	for i, name := range res.Observers.Names() {
 		fmt.Printf("  %-9s cumulative repairs: %d\n", name, res.Observers.Count(i))
 	}
+
+	fmt.Println("\ncustom probe (upload sizes per repair, in blocks):")
+	labels := []string{"<16", "16-31", "32-63", "64-127", ">=128"}
+	for i, n := range hist.buckets {
+		fmt.Printf("  %-7s %d\n", labels[i], n)
+	}
+	fmt.Printf("churn events observed: %d\n", hist.sessions)
+
 	fmt.Println("\nolder peers repair less: age predicts lifetime, and the")
 	fmt.Println("acceptance function lets elders pick elder partners.")
 }

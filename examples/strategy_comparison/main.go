@@ -3,12 +3,17 @@
 // paper's rule against random placement, an unimplementable oracle that
 // knows true remaining lifetimes, an availability oracle, and an
 // adversarial youngest-first rule, all on identical populations.
+//
+// The five runs are one experiments.Campaign executed concurrently by
+// the Runner.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"p2pbackup/internal/experiments"
 	"p2pbackup/internal/metrics"
@@ -20,13 +25,24 @@ func main() {
 	cfg.NumPeers = 600
 	cfg.Rounds = 8000
 
-	fmt.Fprintln(os.Stderr, "running five strategies on identical populations...")
-	res, err := experiments.RunStrategyAblation(cfg, 0, func(msg string) {
-		fmt.Fprintln(os.Stderr, "  "+msg)
-	})
-	if err != nil {
-		log.Fatal(err)
+	campaign := experiments.StrategyCampaign(cfg)
+	fmt.Fprintf(os.Stderr, "running %d strategies on identical populations...\n", len(campaign.Variants))
+	var rows []experiments.Row
+	for ev := range (experiments.Runner{}).Stream(context.Background(), campaign) {
+		switch ev.Kind {
+		case experiments.EventRow:
+			fmt.Fprintf(os.Stderr, "  strategy %q done: %d repairs, %d losses\n",
+				ev.Name, ev.Row.Result.Collector.TotalRepairs(), ev.Row.Result.Collector.TotalLosses())
+			rows = append(rows, *ev.Row)
+		case experiments.EventDone:
+			if ev.Err != nil {
+				log.Fatal(ev.Err)
+			}
+		}
 	}
+	// Rows stream in completion order; present them in variant order.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+	res := experiments.AblationFromRows(campaign.Name, rows)
 
 	fmt.Printf("\n%-22s %9s %8s %10s %12s %12s\n",
 		"strategy", "repairs", "losses", "uploads", "newcomer/1k", "old/1k")

@@ -1,12 +1,18 @@
 // threshold_sweep: a miniature of the paper's figures 1 and 2 - how
 // the repair threshold k' trades repair traffic against archive loss,
 // stratified by peer age category.
+//
+// The sweep is expressed as a declarative campaign executed by
+// experiments.Runner: points stream in as they finish, and Ctrl-C
+// cancels the remaining runs cleanly.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"p2pbackup/internal/experiments"
 	"p2pbackup/internal/metrics"
@@ -19,14 +25,30 @@ func main() {
 	cfg.Rounds = 8000
 	thresholds := []int{132, 140, 148, 156, 164, 172, 180}
 
-	fmt.Fprintf(os.Stderr, "sweeping %d thresholds over %d peers x %d rounds...\n",
-		len(thresholds), cfg.NumPeers, cfg.Rounds)
-	sweep, err := experiments.RunThresholdSweep(cfg, thresholds, 0, func(msg string) {
-		fmt.Fprintln(os.Stderr, "  "+msg)
-	})
+	campaign, err := experiments.ThresholdCampaign(cfg, thresholds)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "sweeping %d thresholds over %d peers x %d rounds...\n",
+		len(thresholds), cfg.NumPeers, cfg.Rounds)
+	var rows []experiments.Row
+	for ev := range (experiments.Runner{}).Stream(ctx, campaign) {
+		switch ev.Kind {
+		case experiments.EventRow:
+			fmt.Fprintf(os.Stderr, "  %s done: %d repairs, %d losses\n",
+				ev.Name, ev.Row.Result.Collector.TotalRepairs(), ev.Row.Result.Collector.TotalLosses())
+			rows = append(rows, *ev.Row)
+		case experiments.EventDone:
+			if ev.Err != nil {
+				log.Fatal(ev.Err)
+			}
+		}
+	}
+	sweep := experiments.ThresholdSweepFromRows(rows)
 
 	fmt.Println("\nfigure 1 (repairs per 1000 peer-rounds):")
 	fmt.Printf("%9s %10s %10s %10s %10s\n", "threshold", "newcomer", "young", "old", "elder")

@@ -1,0 +1,3 @@
+module p2pbackup
+
+go 1.24

@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"p2pbackup/internal/rng"
+)
+
+func TestConstant(t *testing.T) {
+	if got := Constant(3.5).Sample(rng.New(1)); got != 3.5 {
+		t.Fatalf("Constant.Sample = %v", got)
+	}
+}
+
+func TestUniformRangeAndValidation(t *testing.T) {
+	u, err := NewUniform(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := u.Sample(r)
+		if v < 2 || v >= 5 {
+			t.Fatalf("sample %v outside [2, 5)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-3.5) > 0.05 {
+		t.Fatalf("mean = %v, want ~3.5", mean)
+	}
+	for _, bad := range [][2]float64{{5, 2}, {1, 1}, {math.NaN(), 2}} {
+		if _, err := NewUniform(bad[0], bad[1]); err == nil {
+			t.Fatalf("NewUniform(%v, %v) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestParetoTailAndValidation(t *testing.T) {
+	p, err := NewPareto(2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	const n = 50000
+	above4 := 0
+	for i := 0; i < n; i++ {
+		v := p.Sample(r)
+		if v < 2 {
+			t.Fatalf("sample %v below xm", v)
+		}
+		if v > 4 {
+			above4++
+		}
+	}
+	// P(X > 4) = (2/4)^1.5 ~ 0.3536.
+	if frac := float64(above4) / n; math.Abs(frac-0.3536) > 0.01 {
+		t.Fatalf("P(X>4) = %v, want ~0.354", frac)
+	}
+	for _, bad := range [][2]float64{{0, 1}, {1, 0}, {-1, 2}} {
+		if _, err := NewPareto(bad[0], bad[1]); err == nil {
+			t.Fatalf("NewPareto(%v, %v) accepted", bad[0], bad[1])
+		}
+	}
+}

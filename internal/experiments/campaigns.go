@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/selection"
+	"p2pbackup/internal/sim"
+)
+
+// This file declares the paper's evaluation campaigns as Variant lists
+// and the converters that turn Runner rows back into the typed,
+// plot-ready results. Adding a scenario means adding a constructor
+// here — the Runner supplies execution, cancellation and streaming.
+
+// ThresholdCampaign is the figures 1/2 sweep: one run per repair
+// threshold, each with a seed derived from the base seed and the
+// threshold so points are independently reproducible.
+func ThresholdCampaign(cfg sim.Config, thresholds []int) (Campaign, error) {
+	if len(thresholds) == 0 {
+		return Campaign{}, fmt.Errorf("experiments: empty threshold list")
+	}
+	c := Campaign{Name: "threshold", Base: cfg}
+	for _, t := range thresholds {
+		c.Variants = append(c.Variants, Variant{
+			Name: fmt.Sprintf("threshold %d", t),
+			Seed: cfg.Seed*1000003 + uint64(t),
+			Mutate: func(c *sim.Config) {
+				c.RepairThreshold = t
+			},
+		})
+	}
+	return c, nil
+}
+
+// FocalCampaign is the single figures 3/4 run: threshold 148 with the
+// paper's five fixed-age observers.
+func FocalCampaign(cfg sim.Config) Campaign {
+	return Campaign{Name: "focal", Base: cfg, Variants: []Variant{{
+		Name: "focal run",
+		Mutate: func(c *sim.Config) {
+			c.RepairThreshold = 148
+			c.Observers = sim.PaperObservers()
+			if every := c.Rounds / 10; every >= 1 {
+				c.ProgressEvery = every
+			} else {
+				c.ProgressEvery = 1
+			}
+		},
+	}}}
+}
+
+// ablationCampaign builds a labelled variant list with the ablations'
+// historical index-derived seeds.
+func ablationCampaign(cfg sim.Config, name string, labels []string, mutate func(c *sim.Config, i int)) Campaign {
+	c := Campaign{Name: name, Base: cfg}
+	for i, label := range labels {
+		c.Variants = append(c.Variants, Variant{
+			Name: label,
+			Seed: cfg.Seed*9176501 + uint64(i),
+			Mutate: func(cc *sim.Config) {
+				mutate(cc, i)
+			},
+		})
+	}
+	return c
+}
+
+// StrategyCampaign compares every registered partner-selection strategy
+// (A1 in DESIGN.md) on identical populations.
+func StrategyCampaign(cfg sim.Config) Campaign {
+	names := selection.Names()
+	return ablationCampaign(cfg, "strategy", names, func(c *sim.Config, i int) {
+		s, err := selection.ByName(names[i], c.AcceptHorizon)
+		if err != nil {
+			panic(err) // names comes from the registry
+		}
+		c.Strategy = s
+	})
+}
+
+// AvailabilityCampaign compares availability models (A2).
+func AvailabilityCampaign(cfg sim.Config) Campaign {
+	labels := []string{"session", "bernoulli"}
+	return ablationCampaign(cfg, "availability-model", labels, func(c *sim.Config, i int) {
+		m, err := churn.ModelByName(labels[i])
+		if err != nil {
+			panic(err)
+		}
+		c.Avail = m
+	})
+}
+
+// RepairDelayCampaign sweeps the repair-delay knob (the paper's
+// future-work item).
+func RepairDelayCampaign(cfg sim.Config, delays []int) Campaign {
+	labels := make([]string, len(delays))
+	for i, d := range delays {
+		labels[i] = fmt.Sprintf("delay=%dh", d)
+	}
+	return ablationCampaign(cfg, "repair-delay", labels, func(c *sim.Config, i int) {
+		c.RepairDelay = delays[i]
+	})
+}
+
+// HorizonCampaign sweeps the acceptance horizon L (A3).
+func HorizonCampaign(cfg sim.Config, horizons []int64) Campaign {
+	labels := make([]string, len(horizons))
+	for i, h := range horizons {
+		labels[i] = fmt.Sprintf("L=%dd", h/churn.Day)
+	}
+	return ablationCampaign(cfg, "horizon", labels, func(c *sim.Config, i int) {
+		c.AcceptHorizon = horizons[i]
+		c.Strategy = selection.AgeBased{L: horizons[i]}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Row converters: Runner output -> typed experiment results.
+
+// ThresholdSweepFromRows converts a ThresholdCampaign's rows, sorted by
+// threshold.
+func ThresholdSweepFromRows(rows []Row) *ThresholdSweep {
+	points := make([]ThresholdPoint, 0, len(rows))
+	for _, row := range rows {
+		p := ThresholdPoint{
+			Threshold: row.Config.RepairThreshold,
+			Repairs:   row.Result.Collector.TotalRepairs(),
+			Losses:    row.Result.Collector.TotalLosses(),
+			Deaths:    row.Result.Deaths,
+		}
+		for cat := metrics.Category(0); cat < metrics.NumCategories; cat++ {
+			p.RepairRate[cat] = row.Result.Collector.RepairRatePer1000(cat, row.Config.CountInitialAsRepair)
+			p.LossRate[cat] = row.Result.Collector.LossRatePer1000(cat)
+		}
+		points = append(points, p)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Threshold < points[j].Threshold })
+	return &ThresholdSweep{Points: points}
+}
+
+// FocalFromRow converts a FocalCampaign's single row.
+func FocalFromRow(row Row) *FocalResult {
+	res := row.Result
+	out := &FocalResult{
+		ObserverNames: res.Observers.Names(),
+		Repairs:       res.Collector.TotalRepairs(),
+		Losses:        res.Collector.TotalLosses(),
+		Deaths:        res.Deaths,
+	}
+	for i := 0; i < res.Observers.Len(); i++ {
+		out.ObserverCounts = append(out.ObserverCounts, res.Observers.Count(i))
+		out.ObserverSeries = append(out.ObserverSeries, res.Observers.Series(i))
+	}
+	for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+		out.LossSeries[c] = res.Collector.LossSeries(c)
+	}
+	return out
+}
+
+// AblationFromRows converts an ablation campaign's rows, in variant
+// order.
+func AblationFromRows(name string, rows []Row) *AblationResult {
+	points := make([]AblationPoint, 0, len(rows))
+	for _, row := range rows {
+		p := AblationPoint{
+			Label:   row.Name,
+			Repairs: row.Result.Collector.TotalRepairs(),
+			Losses:  row.Result.Collector.TotalLosses(),
+			Deaths:  row.Result.Deaths,
+		}
+		for cat := metrics.Category(0); cat < metrics.NumCategories; cat++ {
+			p.RepairRate[cat] = row.Result.Collector.RepairRatePer1000(cat, row.Config.CountInitialAsRepair)
+			p.LossRate[cat] = row.Result.Collector.LossRatePer1000(cat)
+			p.Uploaded += row.Result.Collector.Counts(cat).BlocksUploaded
+		}
+		points = append(points, p)
+	}
+	return &AblationResult{Name: name, Points: points}
+}
+
+// ---------------------------------------------------------------------------
+// Shared campaign execution helpers.
+
+// collectRows drains a campaign stream, forwarding every event to sink
+// (when non-nil), and returns the rows ordered by variant index.
+func collectRows(ctx context.Context, r Runner, c Campaign, sink func(Event)) ([]Row, error) {
+	var (
+		rows []Row
+		err  error
+	)
+	for ev := range r.Stream(ctx, c) {
+		if sink != nil {
+			sink(ev)
+		}
+		switch ev.Kind {
+		case EventRow:
+			rows = append(rows, *ev.Row)
+		case EventDone:
+			err = ev.Err
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+	return rows, nil
+}
+
+// progressSink adapts the legacy progress-callback style to the event
+// stream: heartbeats pass through, completed rows are formatted by
+// rowMsg.
+func progressSink(progress func(string), rowMsg func(Row) string) func(Event) {
+	if progress == nil {
+		return nil
+	}
+	return func(ev Event) {
+		switch ev.Kind {
+		case EventProgress:
+			progress(ev.Message)
+		case EventRow:
+			if rowMsg != nil {
+				progress(rowMsg(*ev.Row))
+			}
+		}
+	}
+}
+
+// doneMessage formats the historical "<campaign> <variant> done" row
+// message.
+func doneMessage(campaign string) func(Row) string {
+	return func(row Row) string {
+		return fmt.Sprintf("%s %q done: %d repairs, %d losses",
+			campaign, row.Name, row.Result.Collector.TotalRepairs(), row.Result.Collector.TotalLosses())
+	}
+}
+
+// thresholdDoneMessage formats the historical threshold-sweep row
+// message.
+func thresholdDoneMessage(row Row) string {
+	return fmt.Sprintf("threshold %d done: %d repairs, %d losses",
+		row.Config.RepairThreshold, row.Result.Collector.TotalRepairs(), row.Result.Collector.TotalLosses())
+}

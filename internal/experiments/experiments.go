@@ -1,21 +1,31 @@
 // Package experiments defines the runnable experiments that regenerate
 // every table and figure of the paper's evaluation, plus the ablations
-// called out in DESIGN.md. Each experiment takes a scale preset (the
-// paper's full size is expensive), runs the required simulations -
-// sweep points in parallel, each with a deterministic derived seed -
-// and returns plot-ready data with TSV emitters.
+// called out in DESIGN.md.
+//
+// The execution surface is the Campaign/Runner pair: a Campaign is a
+// declarative batch — one base sim.Config and a list of Variants, each
+// a named config mutation with its own deterministic seed — and a
+// Runner executes campaigns over a bounded worker pool with
+// context.Context cancellation, delivering a typed Event stream
+// (progress heartbeats, completed rows, a terminal done event). The
+// paper's evaluation is expressed as campaign constructors
+// (ThresholdCampaign, FocalCampaign, StrategyCampaign, ...) plus row
+// converters (ThresholdSweepFromRows, ...) that produce plot-ready
+// results with TSV emitters; new scenario sweeps should follow that
+// pattern rather than hand-rolling drivers.
+//
+// The RunThresholdSweep/RunFocal/Run*Ablation functions and the
+// string-id registry's Run are retained as thin compatibility wrappers
+// over the Runner; prefer RunCtx or Runner.Run directly in new code so
+// campaigns inherit cancellation and streaming for free.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"runtime"
-	"sort"
-	"sync"
 
-	"p2pbackup/internal/churn"
 	"p2pbackup/internal/metrics"
-	"p2pbackup/internal/selection"
 	"p2pbackup/internal/sim"
 	"p2pbackup/internal/stats"
 )
@@ -68,33 +78,6 @@ func PaperThresholds() []int {
 	return ts
 }
 
-// runParallel executes jobs with bounded parallelism, preserving order.
-func runParallel[T any](n int, parallelism int, job func(i int) (T, error)) ([]T, error) {
-	if parallelism < 1 {
-		parallelism = runtime.NumCPU()
-	}
-	out := make([]T, n)
-	errs := make([]error, n)
-	sem := make(chan struct{}, parallelism)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = job(i)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
 // ---------------------------------------------------------------------------
 // Figures 1 and 2: threshold sweep
 
@@ -120,39 +103,20 @@ type ThresholdSweep struct {
 // derived from cfg.Seed and the threshold so points are independently
 // reproducible. progress (optional) receives one message per finished
 // point.
+//
+// Deprecated: compatibility wrapper. Use ThresholdCampaign with a
+// Runner (and ThresholdSweepFromRows) for cancellation and typed
+// events.
 func RunThresholdSweep(cfg sim.Config, thresholds []int, parallelism int, progress func(string)) (*ThresholdSweep, error) {
-	if len(thresholds) == 0 {
-		return nil, fmt.Errorf("experiments: empty threshold list")
-	}
-	points, err := runParallel(len(thresholds), parallelism, func(i int) (ThresholdPoint, error) {
-		c := cfg
-		c.RepairThreshold = thresholds[i]
-		c.Seed = cfg.Seed*1000003 + uint64(thresholds[i])
-		s, err := sim.New(c)
-		if err != nil {
-			return ThresholdPoint{}, fmt.Errorf("threshold %d: %w", thresholds[i], err)
-		}
-		res := s.Run()
-		p := ThresholdPoint{
-			Threshold: thresholds[i],
-			Repairs:   res.Collector.TotalRepairs(),
-			Losses:    res.Collector.TotalLosses(),
-			Deaths:    res.Deaths,
-		}
-		for cat := metrics.Category(0); cat < metrics.NumCategories; cat++ {
-			p.RepairRate[cat] = res.Collector.RepairRatePer1000(cat, c.CountInitialAsRepair)
-			p.LossRate[cat] = res.Collector.LossRatePer1000(cat)
-		}
-		if progress != nil {
-			progress(fmt.Sprintf("threshold %d done: %d repairs, %d losses", thresholds[i], p.Repairs, p.Losses))
-		}
-		return p, nil
-	})
+	camp, err := ThresholdCampaign(cfg, thresholds)
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(points, func(i, j int) bool { return points[i].Threshold < points[j].Threshold })
-	return &ThresholdSweep{Points: points}, nil
+	rows, err := collectRows(context.Background(), Runner{Parallelism: parallelism}, camp, progressSink(progress, thresholdDoneMessage))
+	if err != nil {
+		return nil, err
+	}
+	return ThresholdSweepFromRows(rows), nil
 }
 
 // WriteRepairTSV emits figure 1: threshold vs repair rate per category.
@@ -215,38 +179,16 @@ type FocalResult struct {
 }
 
 // RunFocal executes the threshold-148 run with the paper's observers.
+//
+// Deprecated: compatibility wrapper. Use FocalCampaign with a Runner
+// (and FocalFromRow) for cancellation and typed events.
 func RunFocal(cfg sim.Config, progress func(string)) (*FocalResult, error) {
-	cfg.RepairThreshold = 148
-	cfg.Observers = sim.PaperObservers()
-	if progress != nil {
-		every := cfg.Rounds / 10
-		if every < 1 {
-			every = 1
-		}
-		cfg.ProgressEvery = every
-		cfg.Progress = func(round int64) {
-			progress(fmt.Sprintf("focal run: round %d/%d", round, cfg.Rounds))
-		}
-	}
-	s, err := sim.New(cfg)
+	r := Runner{Parallelism: 1, RoundEvents: progress != nil}
+	rows, err := collectRows(context.Background(), r, FocalCampaign(cfg), progressSink(progress, nil))
 	if err != nil {
 		return nil, err
 	}
-	res := s.Run()
-	out := &FocalResult{
-		ObserverNames: res.Observers.Names(),
-		Repairs:       res.Collector.TotalRepairs(),
-		Losses:        res.Collector.TotalLosses(),
-		Deaths:        res.Deaths,
-	}
-	for i := 0; i < res.Observers.Len(); i++ {
-		out.ObserverCounts = append(out.ObserverCounts, res.Observers.Count(i))
-		out.ObserverSeries = append(out.ObserverSeries, res.Observers.Series(i))
-	}
-	for c := metrics.Category(0); c < metrics.NumCategories; c++ {
-		out.LossSeries[c] = res.Collector.LossSeries(c)
-	}
-	return out, nil
+	return FocalFromRow(rows[0]), nil
 }
 
 // WriteObserverTSV emits figure 3: cumulative repairs per observer over
@@ -320,86 +262,45 @@ type AblationResult struct {
 	Points []AblationPoint
 }
 
-func runVariants(cfg sim.Config, name string, labels []string, mutate func(c *sim.Config, i int), parallelism int, progress func(string)) (*AblationResult, error) {
-	points, err := runParallel(len(labels), parallelism, func(i int) (AblationPoint, error) {
-		c := cfg
-		c.Seed = cfg.Seed*9176501 + uint64(i)
-		mutate(&c, i)
-		s, err := sim.New(c)
-		if err != nil {
-			return AblationPoint{}, fmt.Errorf("%s variant %q: %w", name, labels[i], err)
-		}
-		res := s.Run()
-		p := AblationPoint{
-			Label:   labels[i],
-			Repairs: res.Collector.TotalRepairs(),
-			Losses:  res.Collector.TotalLosses(),
-			Deaths:  res.Deaths,
-		}
-		for cat := metrics.Category(0); cat < metrics.NumCategories; cat++ {
-			p.RepairRate[cat] = res.Collector.RepairRatePer1000(cat, c.CountInitialAsRepair)
-			p.LossRate[cat] = res.Collector.LossRatePer1000(cat)
-			p.Uploaded += res.Collector.Counts(cat).BlocksUploaded
-		}
-		if progress != nil {
-			progress(fmt.Sprintf("%s %q done: %d repairs, %d losses", name, labels[i], p.Repairs, p.Losses))
-		}
-		return p, nil
-	})
+// runAblationCampaign executes an ablation campaign with the legacy
+// progress-callback interface.
+func runAblationCampaign(c Campaign, parallelism int, progress func(string)) (*AblationResult, error) {
+	rows, err := collectRows(context.Background(), Runner{Parallelism: parallelism}, c, progressSink(progress, doneMessage(c.Name)))
 	if err != nil {
 		return nil, err
 	}
-	return &AblationResult{Name: name, Points: points}, nil
+	return AblationFromRows(c.Name, rows), nil
 }
 
 // RunStrategyAblation compares partner-selection strategies (A1 in
 // DESIGN.md) at the focal threshold.
+//
+// Deprecated: compatibility wrapper over StrategyCampaign + Runner.
 func RunStrategyAblation(cfg sim.Config, parallelism int, progress func(string)) (*AblationResult, error) {
-	names := selection.Names()
-	return runVariants(cfg, "strategy", names, func(c *sim.Config, i int) {
-		s, err := selection.ByName(names[i], c.AcceptHorizon)
-		if err != nil {
-			panic(err) // names comes from the registry
-		}
-		c.Strategy = s
-	}, parallelism, progress)
+	return runAblationCampaign(StrategyCampaign(cfg), parallelism, progress)
 }
 
 // RunAvailabilityAblation compares availability models (A2).
+//
+// Deprecated: compatibility wrapper over AvailabilityCampaign + Runner.
 func RunAvailabilityAblation(cfg sim.Config, parallelism int, progress func(string)) (*AblationResult, error) {
-	labels := []string{"session", "bernoulli"}
-	return runVariants(cfg, "availability-model", labels, func(c *sim.Config, i int) {
-		m, err := churn.ModelByName(labels[i])
-		if err != nil {
-			panic(err)
-		}
-		c.Avail = m
-	}, parallelism, progress)
+	return runAblationCampaign(AvailabilityCampaign(cfg), parallelism, progress)
 }
 
 // RunRepairDelayAblation sweeps the repair-delay knob (the paper's
 // future-work item: hold a triggered repair so temporarily offline
 // partners can return and cancel it).
+//
+// Deprecated: compatibility wrapper over RepairDelayCampaign + Runner.
 func RunRepairDelayAblation(cfg sim.Config, delays []int, parallelism int, progress func(string)) (*AblationResult, error) {
-	labels := make([]string, len(delays))
-	for i, d := range delays {
-		labels[i] = fmt.Sprintf("delay=%dh", d)
-	}
-	return runVariants(cfg, "repair-delay", labels, func(c *sim.Config, i int) {
-		c.RepairDelay = delays[i]
-	}, parallelism, progress)
+	return runAblationCampaign(RepairDelayCampaign(cfg, delays), parallelism, progress)
 }
 
 // RunHorizonAblation sweeps the acceptance horizon L (A3).
+//
+// Deprecated: compatibility wrapper over HorizonCampaign + Runner.
 func RunHorizonAblation(cfg sim.Config, horizons []int64, parallelism int, progress func(string)) (*AblationResult, error) {
-	labels := make([]string, len(horizons))
-	for i, h := range horizons {
-		labels[i] = fmt.Sprintf("L=%dd", h/churn.Day)
-	}
-	return runVariants(cfg, "horizon", labels, func(c *sim.Config, i int) {
-		c.AcceptHorizon = horizons[i]
-		c.Strategy = selection.AgeBased{L: horizons[i]}
-	}, parallelism, progress)
+	return runAblationCampaign(HorizonCampaign(cfg, horizons), parallelism, progress)
 }
 
 // WriteTSV emits the ablation comparison.

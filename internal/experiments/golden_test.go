@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// The constants below were captured by running the pre-refactor
+// experiment drivers (bespoke runParallel/runVariants loops, metrics
+// hard-wired into the engine) on the smoke-scale configs in this file.
+// The Probe/Runner redesign must reproduce them bit-for-bit: probes
+// consume no randomness and the campaign seeds use the historical
+// derivations, so any drift here means the refactor changed the
+// simulated trajectories, not just the plumbing.
+
+type goldenCounts struct {
+	label    string
+	repairs  int64
+	losses   int64
+	uploaded int64
+}
+
+func checkAblationGolden(t *testing.T, res *AblationResult, want []goldenCounts) {
+	t.Helper()
+	if len(res.Points) != len(want) {
+		t.Fatalf("%s: %d points, want %d", res.Name, len(res.Points), len(want))
+	}
+	for i, w := range want {
+		p := res.Points[i]
+		if p.Label != w.label || p.Repairs != w.repairs || p.Losses != w.losses || p.Uploaded != w.uploaded {
+			t.Errorf("%s[%d] = {%s %d %d %d}, want {%s %d %d %d}",
+				res.Name, i, p.Label, p.Repairs, p.Losses, p.Uploaded, w.label, w.repairs, w.losses, w.uploaded)
+		}
+	}
+}
+
+func TestGoldenThresholdSweep(t *testing.T) {
+	cfg := microConfig()
+	camp, err := ThresholdCampaign(cfg, []int{9, 11, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Runner{Parallelism: 2}.Run(context.Background(), camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := ThresholdSweepFromRows(rows)
+	want := []struct {
+		threshold       int
+		repairs, losses int64
+		newcomerRepair  float64
+		newcomerLoss    float64
+	}{
+		{9, 60, 21, 5.333333333333333, 0.7},
+		{11, 444, 6, 18.133333333333333, 0.2},
+		{13, 1621, 0, 57.36666666666667, 0},
+	}
+	for i, w := range want {
+		p := sweep.Points[i]
+		if p.Threshold != w.threshold || p.Repairs != w.repairs || p.Losses != w.losses ||
+			p.RepairRate[0] != w.newcomerRepair || p.LossRate[0] != w.newcomerLoss {
+			t.Errorf("threshold %d = %+v, want %+v", w.threshold, p, w)
+		}
+	}
+}
+
+func TestGoldenFocal(t *testing.T) {
+	cfg := microConfig()
+	cfg.TotalBlocks = 256
+	cfg.DataBlocks = 128
+	cfg.Quota = 384
+	cfg.NumPeers = 600
+	cfg.Rounds = 240
+	rows, err := Runner{Parallelism: 1}.Run(context.Background(), FocalCampaign(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	focal := FocalFromRow(rows[0])
+	wantCounts := []int64{1, 1, 1, 1, 1}
+	for i, w := range wantCounts {
+		if focal.ObserverCounts[i] != w {
+			t.Errorf("observer %d count = %d, want %d", i, focal.ObserverCounts[i], w)
+		}
+	}
+	if focal.Repairs != 0 || focal.Losses != 0 || focal.Deaths != 0 {
+		t.Errorf("focal totals = %d/%d/%d, want 0/0/0", focal.Repairs, focal.Losses, focal.Deaths)
+	}
+}
+
+func TestGoldenStrategyAblation(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 200
+	rows, err := Runner{Parallelism: 2}.Run(context.Background(), StrategyCampaign(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAblationGolden(t, AblationFromRows("strategy", rows), []goldenCounts{
+		{"age", 120, 7, 2474},
+		{"random", 185, 14, 2948},
+		{"availability-oracle", 77, 2, 2153},
+		{"lifetime-oracle", 107, 10, 2376},
+		{"youngest-first", 140, 6, 2613},
+	})
+}
+
+func TestGoldenAvailabilityAblation(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 200
+	rows, err := Runner{Parallelism: 2}.Run(context.Background(), AvailabilityCampaign(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAblationGolden(t, AblationFromRows("availability-model", rows), []goldenCounts{
+		{"session", 120, 7, 2474},
+		{"bernoulli", 124, 13, 2502},
+	})
+}
+
+func TestGoldenHorizonAblation(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 200
+	rows, err := Runner{Parallelism: 2}.Run(context.Background(), HorizonCampaign(cfg, []int64{24, 48, 96}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAblationGolden(t, AblationFromRows("horizon", rows), []goldenCounts{
+		{"L=1d", 120, 7, 2474},
+		{"L=2d", 185, 14, 2948},
+		{"L=4d", 124, 2, 2498},
+	})
+}
+
+func TestGoldenRepairDelayAblation(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 200
+	rows, err := Runner{Parallelism: 2}.Run(context.Background(), RepairDelayCampaign(cfg, []int{0, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAblationGolden(t, AblationFromRows("repair-delay", rows), []goldenCounts{
+		{"delay=0h", 120, 7, 2474},
+		{"delay=2h", 45, 30, 1936},
+	})
+}
+
+// TestGoldenWrappersAgree: the deprecated compatibility wrappers are
+// thin shims over the Runner, so they must return exactly what the
+// campaign path returns.
+func TestGoldenWrappersAgree(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 200
+	old, err := RunStrategyAblation(cfg, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Runner{Parallelism: 2}.Run(context.Background(), StrategyCampaign(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu := AblationFromRows("strategy", rows)
+	for i := range old.Points {
+		if old.Points[i] != neu.Points[i] {
+			t.Fatalf("wrapper point %d differs: %+v vs %+v", i, old.Points[i], neu.Points[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -17,7 +18,31 @@ type Options struct {
 	Seed        uint64
 	Parallelism int
 	OutDir      string // "" = don't write files
-	Progress    func(string)
+	// Progress receives plain-text progress messages (heartbeats and
+	// per-variant completions).
+	Progress func(string)
+	// Events, when non-nil, additionally receives the Runner's typed
+	// event stream for every campaign the experiment runs.
+	Events func(Event)
+}
+
+// runner builds the execution policy an Options implies.
+func (o Options) runner() Runner {
+	return Runner{Parallelism: o.Parallelism}
+}
+
+// sink merges the typed event sink and the plain-text progress callback.
+func (o Options) sink(rowMsg func(Row) string) func(Event) {
+	text := progressSink(o.Progress, rowMsg)
+	if o.Events == nil {
+		return text
+	}
+	return func(ev Event) {
+		o.Events(ev)
+		if text != nil {
+			text(ev)
+		}
+	}
 }
 
 // Summary is what an experiment reports back to the CLI.
@@ -33,37 +58,43 @@ func Names() []string {
 }
 
 // Run executes an experiment by id and writes its data files.
+//
+// Deprecated: compatibility wrapper over RunCtx with a background
+// context; it cannot be cancelled.
 func Run(name string, opts Options) ([]Summary, error) {
+	return RunCtx(context.Background(), name, opts)
+}
+
+// RunCtx executes an experiment by id over the Runner, streaming
+// events to opts.Events/opts.Progress and honouring ctx cancellation,
+// and writes the experiment's data files.
+func RunCtx(ctx context.Context, name string, opts Options) ([]Summary, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
 	switch name {
 	case "fig1", "fig2":
-		return runFigs12(opts)
+		return runFigs12(ctx, opts)
 	case "fig3", "fig4":
-		return runFigs34(opts)
+		return runFigs34(ctx, opts)
 	case "costmodel":
 		return runCostModel(opts)
 	case "ablation-strategy":
-		return runAblation(opts, "ablation_strategy.tsv", func(cfg sim.Config) (*AblationResult, error) {
-			return RunStrategyAblation(cfg, opts.Parallelism, opts.Progress)
-		})
+		return runAblation(ctx, opts, "ablation_strategy.tsv", StrategyCampaign)
 	case "ablation-availability":
-		return runAblation(opts, "ablation_availability.tsv", func(cfg sim.Config) (*AblationResult, error) {
-			return RunAvailabilityAblation(cfg, opts.Parallelism, opts.Progress)
-		})
+		return runAblation(ctx, opts, "ablation_availability.tsv", AvailabilityCampaign)
 	case "ablation-delay":
-		return runAblation(opts, "ablation_delay.tsv", func(cfg sim.Config) (*AblationResult, error) {
-			return RunRepairDelayAblation(cfg, []int{0, 6, 24, 72}, opts.Parallelism, opts.Progress)
+		return runAblation(ctx, opts, "ablation_delay.tsv", func(cfg sim.Config) Campaign {
+			return RepairDelayCampaign(cfg, []int{0, 6, 24, 72})
 		})
 	case "ablation-horizon":
-		return runAblation(opts, "ablation_horizon.tsv", func(cfg sim.Config) (*AblationResult, error) {
-			return RunHorizonAblation(cfg, []int64{30 * churn.Day, 90 * churn.Day, 180 * churn.Day}, opts.Parallelism, opts.Progress)
+		return runAblation(ctx, opts, "ablation_horizon.tsv", func(cfg sim.Config) Campaign {
+			return HorizonCampaign(cfg, []int64{30 * churn.Day, 90 * churn.Day, 180 * churn.Day})
 		})
 	case "all":
 		var all []Summary
 		for _, n := range []string{"costmodel", "fig1", "fig3", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay"} {
-			s, err := Run(n, opts)
+			s, err := RunCtx(ctx, n, opts)
 			if err != nil {
 				return all, err
 			}
@@ -103,15 +134,20 @@ func writeFile(opts Options, name string, emit func(io.Writer) error) (string, e
 	return path, f.Close()
 }
 
-func runFigs12(opts Options) ([]Summary, error) {
+func runFigs12(ctx context.Context, opts Options) ([]Summary, error) {
 	cfg, err := baseFor(opts)
 	if err != nil {
 		return nil, err
 	}
-	sweep, err := RunThresholdSweep(cfg, PaperThresholds(), opts.Parallelism, opts.Progress)
+	camp, err := ThresholdCampaign(cfg, PaperThresholds())
 	if err != nil {
 		return nil, err
 	}
+	rows, err := collectRows(ctx, opts.runner(), camp, opts.sink(thresholdDoneMessage))
+	if err != nil {
+		return nil, err
+	}
+	sweep := ThresholdSweepFromRows(rows)
 	sweep.Scale = opts.Scale
 	var files []string
 	if p, err := writeFile(opts, "fig1_repairs_by_threshold.tsv", sweep.WriteRepairTSV); err != nil {
@@ -134,15 +170,19 @@ func runFigs12(opts Options) ([]Summary, error) {
 	return []Summary{{Name: "fig1+fig2", Files: files, Text: text}}, nil
 }
 
-func runFigs34(opts Options) ([]Summary, error) {
+func runFigs34(ctx context.Context, opts Options) ([]Summary, error) {
 	cfg, err := baseFor(opts)
 	if err != nil {
 		return nil, err
 	}
-	focal, err := RunFocal(cfg, opts.Progress)
+	r := opts.runner()
+	r.Parallelism = 1
+	r.RoundEvents = opts.Progress != nil || opts.Events != nil
+	rows, err := collectRows(ctx, r, FocalCampaign(cfg), opts.sink(nil))
 	if err != nil {
 		return nil, err
 	}
+	focal := FocalFromRow(rows[0])
 	focal.Scale = opts.Scale
 	var files []string
 	if p, err := writeFile(opts, "fig3_observer_repairs.tsv", focal.WriteObserverTSV); err != nil {
@@ -198,15 +238,17 @@ func runCostModel(opts Options) ([]Summary, error) {
 	return []Summary{{Name: "costmodel", Files: files, Text: text}}, nil
 }
 
-func runAblation(opts Options, filename string, run func(sim.Config) (*AblationResult, error)) ([]Summary, error) {
+func runAblation(ctx context.Context, opts Options, filename string, build func(sim.Config) Campaign) ([]Summary, error) {
 	cfg, err := baseFor(opts)
 	if err != nil {
 		return nil, err
 	}
-	res, err := run(cfg)
+	camp := build(cfg)
+	rows, err := collectRows(ctx, opts.runner(), camp, opts.sink(doneMessage(camp.Name)))
 	if err != nil {
 		return nil, err
 	}
+	res := AblationFromRows(camp.Name, rows)
 	var files []string
 	if p, err := writeFile(opts, filename, res.WriteTSV); err != nil {
 		return nil, err

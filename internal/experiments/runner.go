@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"p2pbackup/internal/sim"
+)
+
+// Variant is one named point of a Campaign: a label, an optional
+// explicit seed, and a mutation of the campaign's base configuration.
+type Variant struct {
+	// Name labels the variant in events, rows and reports.
+	Name string
+	// Seed, when non-zero, is the exact seed for this variant's run;
+	// zero keeps the base config's seed. Campaign constructors set a
+	// seed derived from the base seed and the variant's identity so
+	// every point is independently reproducible.
+	Seed uint64
+	// Mutate adjusts the already-seeded base config for this variant.
+	// It runs on a copy; it may also override the seed.
+	Mutate func(*sim.Config)
+	// Probes, when non-nil, builds fresh probes to attach to this
+	// variant's run. It is a factory rather than a slice because probes
+	// are stateful and variants run concurrently.
+	Probes func() []sim.Probe
+}
+
+// Campaign is a declarative batch of simulation runs: one base config
+// and the list of variants to execute over it. Campaigns are data; the
+// Runner supplies the execution policy (parallelism, cancellation,
+// event delivery).
+type Campaign struct {
+	Name     string
+	Base     sim.Config
+	Variants []Variant
+}
+
+// EventKind tags a Runner event.
+type EventKind int
+
+const (
+	// EventProgress is a textual progress report from a running variant
+	// (per-round heartbeats when Runner.RoundEvents is set).
+	EventProgress EventKind = iota
+	// EventRow reports one completed variant together with its result.
+	EventRow
+	// EventDone is the final event of a campaign stream; Err carries
+	// the campaign error, if any.
+	EventDone
+)
+
+var eventKindNames = [...]string{"progress", "row", "done"}
+
+func (k EventKind) String() string {
+	if k >= 0 && int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one element of a campaign's typed event stream.
+type Event struct {
+	Kind     EventKind
+	Campaign string
+	Variant  int    // variant index, -1 for campaign-scoped events
+	Name     string // variant name, "" for campaign-scoped events
+	Message  string // progress text (EventProgress)
+	Row      *Row   // completed run (EventRow)
+	Err      error  // terminal error (EventDone)
+}
+
+// Row is one completed variant run.
+type Row struct {
+	Index  int
+	Name   string
+	Config sim.Config // the exact config the run used (seeded and mutated)
+	Result *sim.Result
+}
+
+// Runner executes campaigns over a bounded worker pool. The zero value
+// is ready to use: NumCPU workers, no per-round events.
+type Runner struct {
+	// Parallelism bounds concurrent simulations; values below 1 mean
+	// runtime.NumCPU().
+	Parallelism int
+	// RoundEvents emits an EventProgress heartbeat every ProgressEvery
+	// rounds of each variant whose config has no Progress hook of its
+	// own.
+	RoundEvents bool
+}
+
+// Run executes the campaign and returns its rows ordered by variant
+// index. It blocks until every variant finished or ctx is cancelled;
+// on error or cancellation the partial rows are discarded and the
+// first error (lowest variant index, or ctx.Err()) is returned.
+func (r Runner) Run(ctx context.Context, c Campaign) ([]Row, error) {
+	return collectRows(ctx, r, c, nil)
+}
+
+// Stream executes the campaign in the background and returns its typed
+// event stream: zero or more EventProgress/EventRow events (rows arrive
+// in completion order, not index order) terminated by exactly one
+// EventDone, after which the channel closes. The caller must drain the
+// channel; cancel ctx to stop early — in-flight simulations abort
+// within a few rounds and EventDone reports ctx.Err().
+func (r Runner) Stream(ctx context.Context, c Campaign) <-chan Event {
+	events := make(chan Event)
+	go r.execute(ctx, c, events)
+	return events
+}
+
+func (r Runner) execute(ctx context.Context, c Campaign, events chan<- Event) {
+	defer close(events)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := func(err error) {
+		events <- Event{Kind: EventDone, Campaign: c.Name, Variant: -1, Err: err}
+	}
+	if len(c.Variants) == 0 {
+		done(fmt.Errorf("experiments: campaign %q has no variants", c.Name))
+		return
+	}
+	// Probes are stateful and must not be shared between runs: a probe
+	// in the base config would receive events from every variant,
+	// concurrently. Refuse rather than race; Variant.Probes is the
+	// per-run factory for this.
+	if len(c.Base.Probes) > 0 && len(c.Variants) > 1 {
+		done(fmt.Errorf("experiments: campaign %q: Base.Probes would be shared across %d runs; use Variant.Probes factories",
+			c.Name, len(c.Variants)))
+		return
+	}
+	workers := r.Parallelism
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(c.Variants) {
+		workers = len(c.Variants)
+	}
+
+	// A variant failure stops the campaign: cancel the feed, let
+	// in-flight runs abort, and report the lowest-index error.
+	// Cancellation errors are a consequence, not a cause — they never
+	// displace a real failure.
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIndex int
+	)
+	fail := func(i int, err error) {
+		defer cancel()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil || i < errIndex {
+			firstErr, errIndex = err, i
+		}
+		mu.Unlock()
+	}
+
+	feed := make(chan int)
+	go func() {
+		defer close(feed)
+		for i := range c.Variants {
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				row, err := r.runVariant(ctx, c, i, events)
+				switch {
+				case err != nil:
+					fail(i, err)
+				default:
+					events <- Event{Kind: EventRow, Campaign: c.Name, Variant: i, Name: row.Name, Row: row}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err == nil {
+		err = parent.Err()
+	}
+	done(err)
+}
+
+// runVariant materialises variant i's config and executes it.
+func (r Runner) runVariant(ctx context.Context, c Campaign, i int, events chan<- Event) (*Row, error) {
+	v := c.Variants[i]
+	cfg := c.Base
+	if v.Seed != 0 {
+		cfg.Seed = v.Seed
+	}
+	if v.Probes != nil {
+		cfg.Probes = append(append([]sim.Probe(nil), cfg.Probes...), v.Probes()...)
+	}
+	if v.Mutate != nil {
+		v.Mutate(&cfg)
+	}
+	if r.RoundEvents && cfg.Progress == nil {
+		rounds := cfg.Rounds
+		cfg.Progress = func(round int64) {
+			events <- Event{
+				Kind:     EventProgress,
+				Campaign: c.Name,
+				Variant:  i,
+				Name:     v.Name,
+				Message:  fmt.Sprintf("%s: round %d/%d", v.Name, round, rounds),
+			}
+		}
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s %q: %w", c.Name, v.Name, err)
+	}
+	res, err := s.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Row{Index: i, Name: v.Name, Config: cfg, Result: res}, nil
+}

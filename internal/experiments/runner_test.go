@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"p2pbackup/internal/sim"
+)
+
+// TestRunnerRowsDeterministicAcrossParallelism: the same campaign and
+// seed must yield identical rows whether run serially or concurrently.
+func TestRunnerRowsDeterministicAcrossParallelism(t *testing.T) {
+	cfg := microConfig()
+	camp, err := ThresholdCampaign(cfg, []int{9, 10, 11, 12, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Runner{Parallelism: 1}.Run(context.Background(), camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrent, err := Runner{Parallelism: 4}.Run(context.Background(), camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(concurrent) || len(serial) != 5 {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(concurrent))
+	}
+	// Compare the full converted points (comparable structs): the rows
+	// must be value-identical, not merely similar.
+	a := ThresholdSweepFromRows(serial)
+	b := ThresholdSweepFromRows(concurrent)
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs across parallelism:\n%+v\n%+v", i, a.Points[i], b.Points[i])
+		}
+	}
+	for i, row := range serial {
+		if row.Index != i {
+			t.Fatalf("rows not ordered by index: %d at %d", row.Index, i)
+		}
+		if row.Config.Seed != cfg.Seed*1000003+uint64(row.Config.RepairThreshold) {
+			t.Fatalf("row %d seed %d not derived from threshold", i, row.Config.Seed)
+		}
+	}
+}
+
+// TestRunnerCancellation: cancelling mid-campaign stops cleanly with
+// ctx.Err() and no rows.
+func TestRunnerCancellation(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 1 << 40 // any single variant would run for months
+	camp, err := ThresholdCampaign(cfg, []int{9, 10, 11, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	rows, err := Runner{Parallelism: 2}.Run(ctx, camp)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rows != nil {
+		t.Fatalf("cancelled campaign returned %d rows", len(rows))
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v; workers did not abort in-flight runs", elapsed)
+	}
+}
+
+// TestRunnerStreamShape: the event stream is progress/rows followed by
+// exactly one done event, then close.
+func TestRunnerStreamShape(t *testing.T) {
+	cfg := microConfig()
+	camp, err := ThresholdCampaign(cfg, []int{9, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows, dones int
+	sawDoneLast := false
+	for ev := range (Runner{Parallelism: 2}).Stream(context.Background(), camp) {
+		sawDoneLast = false
+		switch ev.Kind {
+		case EventRow:
+			rows++
+			if ev.Row == nil || ev.Row.Result == nil {
+				t.Fatal("row event without result")
+			}
+			if ev.Campaign != "threshold" || !strings.HasPrefix(ev.Name, "threshold ") {
+				t.Fatalf("row event labels: %+v", ev)
+			}
+		case EventDone:
+			dones++
+			sawDoneLast = true
+			if ev.Err != nil {
+				t.Fatal(ev.Err)
+			}
+		}
+	}
+	if rows != 2 || dones != 1 || !sawDoneLast {
+		t.Fatalf("stream shape: %d rows, %d dones, done last = %v", rows, dones, sawDoneLast)
+	}
+}
+
+// TestRunnerVariantError: a failing variant cancels the campaign and
+// surfaces the real error, not the collateral cancellations.
+func TestRunnerVariantError(t *testing.T) {
+	cfg := microConfig()
+	camp, err := ThresholdCampaign(cfg, []int{9, 999, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Runner{Parallelism: 3}).Run(context.Background(), camp); err == nil {
+		t.Fatal("invalid threshold accepted")
+	} else if !strings.Contains(err.Error(), "999") {
+		t.Fatalf("error does not name the failing variant: %v", err)
+	}
+}
+
+// TestRunnerEmptyCampaign: an empty variant list is an error, not a
+// hang.
+func TestRunnerEmptyCampaign(t *testing.T) {
+	if _, err := (Runner{}).Run(context.Background(), Campaign{Name: "empty"}); err == nil {
+		t.Fatal("empty campaign accepted")
+	}
+}
+
+// roundCounter counts round-end events for TestRunnerVariantProbes.
+type roundCounter struct {
+	sim.BaseProbe
+	rounds int64
+}
+
+func (c *roundCounter) OnRoundEnd(sim.RoundEndEvent) { c.rounds++ }
+
+// TestRunnerVariantProbes: per-variant probe factories attach fresh
+// probes to every run.
+func TestRunnerVariantProbes(t *testing.T) {
+	cfg := microConfig()
+	counters := make([]*roundCounter, 0, 2)
+	camp := Campaign{Name: "probed", Base: cfg}
+	for i := 0; i < 2; i++ {
+		camp.Variants = append(camp.Variants, Variant{
+			Name: "v",
+			Seed: uint64(i + 1),
+			Probes: func() []sim.Probe {
+				c := &roundCounter{}
+				counters = append(counters, c)
+				return []sim.Probe{c}
+			},
+		})
+	}
+	// Parallelism 1 so the factory appends without a data race.
+	if _, err := (Runner{Parallelism: 1}).Run(context.Background(), camp); err != nil {
+		t.Fatal(err)
+	}
+	if len(counters) != 2 {
+		t.Fatalf("probe factory ran %d times, want 2", len(counters))
+	}
+	for i, c := range counters {
+		if got := c.rounds; got != cfg.Rounds {
+			t.Fatalf("probe %d saw %d rounds, want %d", i, got, cfg.Rounds)
+		}
+	}
+}
+
+// TestRunnerRejectsSharedBaseProbes: a stateful probe in the base
+// config would be shared across concurrent runs; the Runner must
+// refuse rather than race.
+func TestRunnerRejectsSharedBaseProbes(t *testing.T) {
+	cfg := microConfig()
+	cfg.Probes = []sim.Probe{&roundCounter{}}
+	camp, err := ThresholdCampaign(cfg, []int{9, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Runner{Parallelism: 2}).Run(context.Background(), camp); err == nil {
+		t.Fatal("shared Base.Probes accepted for a multi-variant campaign")
+	} else if !strings.Contains(err.Error(), "Variant.Probes") {
+		t.Fatalf("error does not point at Variant.Probes: %v", err)
+	}
+	// A single-variant campaign has nothing to share; it must run.
+	single, err := ThresholdCampaign(cfg, []int{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := (Runner{Parallelism: 2}).Run(context.Background(), single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Probes[0].(*roundCounter).rounds; got != rows[0].Config.Rounds {
+		t.Fatalf("base probe saw %d rounds, want %d", got, rows[0].Config.Rounds)
+	}
+}
+
+// TestRegistryRunCtxCancelled: the registry path honours cancellation.
+func TestRegistryRunCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, "fig1", Options{Scale: ScaleSmoke}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -87,6 +87,11 @@ type Config struct {
 	// Observers to instantiate (may be empty).
 	Observers []ObserverSpec
 
+	// Probes are custom event observers attached after the built-in
+	// metrics/trace probes. Probes are stateful: never share one
+	// instance between concurrently running simulations.
+	Probes []Probe
+
 	// Warmup rounds excluded from rate metrics (series still cover the
 	// full run, like the paper's figures).
 	Warmup int64

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/metrics"
+)
+
+// PeerEvent identifies a peer-scoped simulation event: which peer, in
+// which round, with the peer's current age category and behaviour
+// profile.
+type PeerEvent struct {
+	Round    int64
+	Peer     int // population slot
+	Category metrics.Category
+	Profile  int
+}
+
+// RepairEvent reports a completed upload burst: a maintenance repair,
+// or the initial d = n backup when Initial is set.
+type RepairEvent struct {
+	PeerEvent
+	Initial  bool
+	Uploaded int // blocks uploaded
+	Dropped  int // placements abandoned (offline partners)
+}
+
+// ChurnEvent reports a membership or session transition (join, leave,
+// online, offline) in the same vocabulary churn traces use.
+type ChurnEvent struct {
+	Round int64
+	Peer  int
+	Kind  churn.EventKind
+}
+
+// ObserverRepairEvent reports a repair completed by a fixed-age
+// observer (the paper's Figure 3 instrumentation).
+type ObserverRepairEvent struct {
+	Round    int64
+	Observer int // index into Config.Observers
+	Name     string
+}
+
+// RoundEndEvent closes a round with the per-category population, the
+// denominator every rate metric normalises by.
+type RoundEndEvent struct {
+	Round      int64
+	Population [metrics.NumCategories]int64
+}
+
+// Probe observes a simulation run. The engine emits every protocol
+// event to each attached probe, in attachment order, at the moment the
+// event happens; the built-in metrics collector, observer tracker and
+// churn-trace recorder are themselves probes, so custom measurement
+// (loss CDFs, bandwidth histograms, live dashboards) attaches the same
+// way via Config.Probes without touching the engine.
+//
+// Probes run synchronously on the simulation goroutine: they must not
+// block, and a probe instance must not be shared between concurrently
+// running simulations (experiments.Variant.Probes is a factory for
+// exactly this reason). Probes must not mutate simulation state; they
+// may consume no randomness, so attaching or removing probes never
+// changes a run's trajectory.
+//
+// Embed BaseProbe to implement only the events of interest.
+type Probe interface {
+	// OnChurn reports joins, departures and session flips.
+	OnChurn(ChurnEvent)
+	// OnDeath reports a departure about to be replaced; Category and
+	// Profile describe the departing occupant.
+	OnDeath(PeerEvent)
+	// OnRepair reports a completed repair or initial backup.
+	OnRepair(RepairEvent)
+	// OnOutage reports an archive becoming unrecoverable from online
+	// peers (the paper's "data lost" event).
+	OnOutage(PeerEvent)
+	// OnHardLoss reports a permanently lost archive (alive blocks < k).
+	OnHardLoss(PeerEvent)
+	// OnStall reports a round in which a peer needed repair but could
+	// not proceed.
+	OnStall(PeerEvent)
+	// OnCancel reports a pending repair aborted after visibility
+	// recovered.
+	OnCancel(PeerEvent)
+	// OnObserverRepair reports a fixed-age observer completing a repair.
+	OnObserverRepair(ObserverRepairEvent)
+	// OnRoundEnd closes each round with the category populations.
+	OnRoundEnd(RoundEndEvent)
+}
+
+// BaseProbe is a no-op Probe for embedding: override only the hooks a
+// probe cares about.
+type BaseProbe struct{}
+
+// OnChurn implements Probe.
+func (BaseProbe) OnChurn(ChurnEvent) {}
+
+// OnDeath implements Probe.
+func (BaseProbe) OnDeath(PeerEvent) {}
+
+// OnRepair implements Probe.
+func (BaseProbe) OnRepair(RepairEvent) {}
+
+// OnOutage implements Probe.
+func (BaseProbe) OnOutage(PeerEvent) {}
+
+// OnHardLoss implements Probe.
+func (BaseProbe) OnHardLoss(PeerEvent) {}
+
+// OnStall implements Probe.
+func (BaseProbe) OnStall(PeerEvent) {}
+
+// OnCancel implements Probe.
+func (BaseProbe) OnCancel(PeerEvent) {}
+
+// OnObserverRepair implements Probe.
+func (BaseProbe) OnObserverRepair(ObserverRepairEvent) {}
+
+// OnRoundEnd implements Probe.
+func (BaseProbe) OnRoundEnd(RoundEndEvent) {}
+
+// ---------------------------------------------------------------------------
+// Built-in probes: the metrics layer, expressed as probes.
+
+// collectorProbe feeds a metrics.Collector (Figures 1, 2 and 4).
+type collectorProbe struct {
+	BaseProbe
+	col *metrics.Collector
+}
+
+func (p collectorProbe) OnRepair(e RepairEvent) {
+	p.col.RecordRepair(e.Round, e.Category, e.Profile, e.Initial, e.Uploaded, e.Dropped)
+}
+
+func (p collectorProbe) OnOutage(e PeerEvent) {
+	p.col.RecordOutage(e.Round, e.Category, e.Profile)
+}
+
+func (p collectorProbe) OnHardLoss(e PeerEvent) {
+	p.col.RecordHardLoss(e.Round, e.Category, e.Profile)
+}
+
+func (p collectorProbe) OnStall(e PeerEvent) {
+	p.col.RecordStall(e.Round, e.Category)
+}
+
+func (p collectorProbe) OnRoundEnd(e RoundEndEvent) {
+	for cat := metrics.Category(0); cat < metrics.NumCategories; cat++ {
+		p.col.AddPeerRounds(e.Round, cat, e.Population[cat])
+	}
+	p.col.EndRound(e.Round, e.Population)
+}
+
+// observerProbe feeds a metrics.ObserverTracker (Figure 3).
+type observerProbe struct {
+	BaseProbe
+	obs *metrics.ObserverTracker
+}
+
+func (p observerProbe) OnObserverRepair(e ObserverRepairEvent) {
+	p.obs.RecordRepair(e.Round, e.Observer)
+}
+
+// traceProbe records churn events into a replayable churn.Trace.
+type traceProbe struct {
+	BaseProbe
+	trace *churn.Trace
+}
+
+func (p traceProbe) OnChurn(e ChurnEvent) {
+	p.trace.Append(e.Round, int32(e.Peer), e.Kind)
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/metrics"
+)
+
+// recordingProbe tallies every event category it sees.
+type recordingProbe struct {
+	BaseProbe
+	deaths    int64
+	joins     int64
+	leaves    int64
+	sessions  int64
+	repairs   int64
+	initials  int64
+	outages   int64
+	hardLoss  int64
+	cancels   int64
+	obsByName map[string]int64
+	rounds    int64
+	lastPop   [metrics.NumCategories]int64
+}
+
+func (p *recordingProbe) OnDeath(PeerEvent) { p.deaths++ }
+
+func (p *recordingProbe) OnChurn(e ChurnEvent) {
+	switch e.Kind {
+	case churn.EvJoin:
+		p.joins++
+	case churn.EvLeave:
+		p.leaves++
+	default:
+		p.sessions++
+	}
+}
+
+func (p *recordingProbe) OnRepair(e RepairEvent) {
+	if e.Initial {
+		p.initials++
+	} else {
+		p.repairs++
+	}
+}
+
+func (p *recordingProbe) OnOutage(PeerEvent)   { p.outages++ }
+func (p *recordingProbe) OnHardLoss(PeerEvent) { p.hardLoss++ }
+func (p *recordingProbe) OnCancel(PeerEvent)   { p.cancels++ }
+
+func (p *recordingProbe) OnObserverRepair(e ObserverRepairEvent) {
+	if p.obsByName == nil {
+		p.obsByName = make(map[string]int64)
+	}
+	p.obsByName[e.Name]++
+}
+
+func (p *recordingProbe) OnRoundEnd(e RoundEndEvent) {
+	p.rounds++
+	p.lastPop = e.Population
+}
+
+func probeTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumPeers = 150
+	cfg.Rounds = 1500
+	cfg.TotalBlocks = 16
+	cfg.DataBlocks = 8
+	cfg.RepairThreshold = 10
+	cfg.Quota = 48
+	cfg.PoolSamplePerRound = 32
+	cfg.AcceptHorizon = 48
+	cfg.Seed = 11
+	cfg.Observers = []ObserverSpec{{Name: "watch", Age: 3 * churn.Month}}
+	return cfg
+}
+
+// TestProbeMatchesResult checks that a custom probe observes exactly the
+// event stream the built-in collector aggregates into Result.
+func TestProbeMatchesResult(t *testing.T) {
+	cfg := probeTestConfig()
+	rec := &recordingProbe{}
+	cfg.Probes = []Probe{rec}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+
+	if rec.deaths != res.Deaths {
+		t.Errorf("probe deaths = %d, result reports %d", rec.deaths, res.Deaths)
+	}
+	if rec.deaths == 0 {
+		t.Error("run produced no deaths; test config too tame")
+	}
+	if rec.leaves != res.Deaths {
+		t.Errorf("leave events = %d, deaths = %d", rec.leaves, res.Deaths)
+	}
+	// Every slot joins at round 0 and every death rejoins as a
+	// replacement.
+	wantJoins := int64(cfg.NumPeers) + res.Deaths
+	if rec.joins != wantJoins {
+		t.Errorf("join events = %d, want %d", rec.joins, wantJoins)
+	}
+	if rec.repairs != res.Collector.TotalRepairs() {
+		t.Errorf("probe repairs = %d, collector reports %d", rec.repairs, res.Collector.TotalRepairs())
+	}
+	if rec.repairs == 0 {
+		t.Error("run produced no repairs; test config too tame")
+	}
+	if rec.outages != res.Collector.TotalLosses() {
+		t.Errorf("probe outages = %d, collector reports %d", rec.outages, res.Collector.TotalLosses())
+	}
+	if rec.hardLoss != res.Collector.TotalHardLosses() {
+		t.Errorf("probe hard losses = %d, collector reports %d", rec.hardLoss, res.Collector.TotalHardLosses())
+	}
+	if rec.cancels != res.Cancels {
+		t.Errorf("probe cancels = %d, result reports %d", rec.cancels, res.Cancels)
+	}
+	var initials int64
+	for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+		initials += res.Collector.Counts(c).InitialBackups
+	}
+	if rec.initials != initials {
+		t.Errorf("probe initial backups = %d, collector reports %d", rec.initials, initials)
+	}
+	if rec.obsByName["watch"] != res.Observers.Count(0) {
+		t.Errorf("probe observer repairs = %d, tracker reports %d", rec.obsByName["watch"], res.Observers.Count(0))
+	}
+	if rec.rounds != cfg.Rounds {
+		t.Errorf("round-end events = %d, want %d", rec.rounds, cfg.Rounds)
+	}
+	var pop int64
+	for _, n := range rec.lastPop {
+		pop += n
+	}
+	if pop != int64(cfg.NumPeers) {
+		t.Errorf("final population = %d, want %d", pop, cfg.NumPeers)
+	}
+}
+
+// TestProbeDoesNotPerturbRun checks that attaching probes leaves the
+// trajectory byte-identical: probes observe, they never participate.
+func TestProbeDoesNotPerturbRun(t *testing.T) {
+	cfg := probeTestConfig()
+	bare, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := bare.Run()
+
+	cfg.Probes = []Probe{&recordingProbe{}, &recordingProbe{}}
+	probed, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := probed.Run()
+
+	if a.Deaths != b.Deaths || a.Cancels != b.Cancels ||
+		a.Collector.TotalRepairs() != b.Collector.TotalRepairs() ||
+		a.Collector.TotalLosses() != b.Collector.TotalLosses() ||
+		a.FinalPlacements != b.FinalPlacements {
+		t.Fatalf("attaching probes changed the run: %+v vs %+v", a, b)
+	}
+}
+
+// TestRunContextCancel checks that a cancelled context stops a run
+// promptly with no result.
+func TestRunContextCancel(t *testing.T) {
+	cfg := probeTestConfig()
+	cfg.Rounds = 1 << 40 // would run for months
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := s.RunContext(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestRunContextComplete checks that an uncancelled RunContext matches
+// Run exactly.
+func TestRunContextComplete(t *testing.T) {
+	cfg := probeTestConfig()
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s1.Run()
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s2.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Deaths != b.Deaths || a.Collector.TotalRepairs() != b.Collector.TotalRepairs() {
+		t.Fatalf("RunContext diverged from Run: %+v vs %+v", a, b)
+	}
+}

@@ -9,9 +9,20 @@
 // of churn events (session flips, deaths) plus the number of peers with
 // active maintenance work, using the overlay ledger's incremental
 // counters rather than per-peer partner scans.
+//
+// Measurement is decoupled from the engine through the Probe interface:
+// the engine emits every protocol event (churn, repairs, outages,
+// losses, round boundaries) to an ordered list of probes, and the
+// metrics collector, observer tracker and churn-trace recorder that
+// populate Result are themselves probes attached by New. Custom
+// instrumentation attaches through Config.Probes and observes the exact
+// same event stream; probes consume no randomness, so attaching them
+// never perturbs a run. Runs are cancellable mid-flight through
+// RunContext.
 package sim
 
 import (
+	"context"
 	"math"
 
 	"p2pbackup/internal/churn"
@@ -70,6 +81,7 @@ type Simulation struct {
 	deaths   int64
 	cancels  int64
 	trace    *churn.Trace
+	probes   []Probe
 
 	actors []overlay.PeerID // scratch: peers acting this round
 }
@@ -95,9 +107,14 @@ func New(cfg Config) (*Simulation, error) {
 		names[i] = o.Name
 	}
 	s.obs = metrics.NewObserverTracker(names)
+	// The built-in measurement layer attaches as probes, first in
+	// dispatch order so Result sees events before custom probes do.
+	s.probes = append(s.probes, collectorProbe{col: s.col}, observerProbe{obs: s.obs})
 	if cfg.RecordTrace {
 		s.trace = &churn.Trace{}
+		s.probes = append(s.probes, traceProbe{trace: s.trace})
 	}
+	s.probes = append(s.probes, cfg.Probes...)
 	s.maint = maintenance.New(maintenance.Params{
 		TotalBlocks:          cfg.TotalBlocks,
 		DataBlocks:           cfg.DataBlocks,
@@ -143,14 +160,25 @@ func (s *Simulation) initPeer(id overlay.PeerID, round int64, profile int) {
 	p.online = s.r.Bool(p.avail)
 	s.led.SetOnline(id, p.online)
 	p.toggle = addClamped(round, s.cfg.Avail.SessionLength(s.r, p.avail, p.online))
-	if s.trace != nil {
-		s.trace.Append(round, int32(id), churn.EvJoin)
-		if p.online {
-			s.trace.Append(round, int32(id), churn.EvOnline)
-		} else {
-			s.trace.Append(round, int32(id), churn.EvOffline)
-		}
+	s.emitChurn(round, id, churn.EvJoin)
+	if p.online {
+		s.emitChurn(round, id, churn.EvOnline)
+	} else {
+		s.emitChurn(round, id, churn.EvOffline)
 	}
+}
+
+// emitChurn dispatches a churn event to every probe.
+func (s *Simulation) emitChurn(round int64, id overlay.PeerID, kind churn.EventKind) {
+	for _, p := range s.probes {
+		p.OnChurn(ChurnEvent{Round: round, Peer: int(id), Kind: kind})
+	}
+}
+
+// peerEvent builds the probe payload for a population peer.
+func (s *Simulation) peerEvent(round int64, id overlay.PeerID) PeerEvent {
+	p := &s.peers[id]
+	return PeerEvent{Round: round, Peer: int(id), Category: p.cat, Profile: int(p.profile)}
 }
 
 func addClamped(round, delta int64) int64 {
@@ -193,7 +221,28 @@ func (e *simEnv) SampleCandidate(r *rng.Rand) overlay.PeerID {
 
 // Run executes the configured number of rounds and returns the result.
 func (s *Simulation) Run() *Result {
+	res, _ := s.RunContext(context.Background())
+	return res
+}
+
+// cancelCheckMask controls how often RunContext polls the context: every
+// 64 rounds, cheap enough to be invisible and responsive enough that a
+// cancelled multi-year run stops within milliseconds.
+const cancelCheckMask = 63
+
+// RunContext executes the run, polling ctx every few rounds; on
+// cancellation it stops immediately and returns ctx's error with a nil
+// result. A completed run is identical to Run's.
+func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
+	done := ctx.Done()
 	for ; s.round < s.cfg.Rounds; s.round++ {
+		if done != nil && s.round&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		s.stepRound()
 		if s.cfg.Progress != nil && (s.round+1)%s.cfg.ProgressEvery == 0 {
 			s.cfg.Progress(s.round + 1)
@@ -214,7 +263,7 @@ func (s *Simulation) Run() *Result {
 		Cancels:         s.cancels,
 		FinalPlacements: s.led.TotalPlacements(),
 		FinalIncluded:   included,
-	}
+	}, nil
 }
 
 // stepRound advances one round: churn events first, then maintenance
@@ -241,12 +290,10 @@ func (s *Simulation) stepRound() {
 			p.online = !p.online
 			s.led.SetOnline(id, p.online)
 			p.toggle = addClamped(round, s.cfg.Avail.SessionLength(s.r, p.avail, p.online))
-			if s.trace != nil {
-				if p.online {
-					s.trace.Append(round, int32(id), churn.EvOnline)
-				} else {
-					s.trace.Append(round, int32(id), churn.EvOffline)
-				}
+			if p.online {
+				s.emitChurn(round, id, churn.EvOnline)
+			} else {
+				s.emitChurn(round, id, churn.EvOffline)
 			}
 		}
 
@@ -255,7 +302,10 @@ func (s *Simulation) stepRound() {
 		// preceded it has been counted when the owner observed it.
 		if s.maint.LostArchive(id) {
 			s.maint.ResetArchive(id)
-			s.col.RecordHardLoss(round, p.cat, int(p.profile))
+			ev := s.peerEvent(round, id)
+			for _, pr := range s.probes {
+				pr.OnHardLoss(ev)
+			}
 		}
 
 		if p.online && s.maint.WantsStep(id) {
@@ -269,20 +319,33 @@ func (s *Simulation) stepRound() {
 		s.actors[i], s.actors[j] = s.actors[j], s.actors[i]
 	})
 	for _, id := range s.actors {
-		p := &s.peers[id]
 		res := s.maint.Step(s.r, id)
+		ev := s.peerEvent(round, id)
 		switch res.Outcome {
-		case maintenance.OutcomeRepaired:
-			s.col.RecordRepair(round, p.cat, int(p.profile), false, res.Uploaded, res.Dropped)
-		case maintenance.OutcomeInitialDone:
-			s.col.RecordRepair(round, p.cat, int(p.profile), true, res.Uploaded, res.Dropped)
+		case maintenance.OutcomeRepaired, maintenance.OutcomeInitialDone:
+			re := RepairEvent{
+				PeerEvent: ev,
+				Initial:   res.Outcome == maintenance.OutcomeInitialDone,
+				Uploaded:  res.Uploaded,
+				Dropped:   res.Dropped,
+			}
+			for _, pr := range s.probes {
+				pr.OnRepair(re)
+			}
 		case maintenance.OutcomeStalled:
-			s.col.RecordStall(round, p.cat)
+			for _, pr := range s.probes {
+				pr.OnStall(ev)
+			}
 			if res.OutageStarted {
-				s.col.RecordOutage(round, p.cat, int(p.profile))
+				for _, pr := range s.probes {
+					pr.OnOutage(ev)
+				}
 			}
 		case maintenance.OutcomeCanceled:
 			s.cancels++
+			for _, pr := range s.probes {
+				pr.OnCancel(ev)
+			}
 		}
 	}
 
@@ -296,16 +359,19 @@ func (s *Simulation) stepRound() {
 			res := s.maint.Step(s.r, id)
 			switch res.Outcome {
 			case maintenance.OutcomeRepaired, maintenance.OutcomeInitialDone:
-				s.obs.RecordRepair(round, i)
+				ev := ObserverRepairEvent{Round: round, Observer: i, Name: s.obsSpecs[i].Name}
+				for _, pr := range s.probes {
+					pr.OnObserverRepair(ev)
+				}
 			}
 		}
 	}
 
 	// Phase 3: accounting.
-	for cat := metrics.Category(0); cat < metrics.NumCategories; cat++ {
-		s.col.AddPeerRounds(round, cat, s.catPop[cat])
+	end := RoundEndEvent{Round: round, Population: s.catPop}
+	for _, pr := range s.probes {
+		pr.OnRoundEnd(end)
 	}
-	s.col.EndRound(round, s.catPop)
 }
 
 // replacePeer handles a departure: blocks vanish, the slot is reused by
@@ -314,9 +380,11 @@ func (s *Simulation) stepRound() {
 // proportions stay exactly stationary, unless the config asks for
 // resampling.
 func (s *Simulation) replacePeer(id overlay.PeerID, p *peer, round int64) {
-	if s.trace != nil {
-		s.trace.Append(round, int32(id), churn.EvLeave)
+	dead := s.peerEvent(round, id)
+	for _, pr := range s.probes {
+		pr.OnDeath(dead)
 	}
+	s.emitChurn(round, id, churn.EvLeave)
 	s.deaths++
 	s.catPop[p.cat]--
 	s.catPop[metrics.Newcomer]++

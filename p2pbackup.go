@@ -22,6 +22,8 @@
 package p2pbackup
 
 import (
+	"context"
+
 	"p2pbackup/internal/backup"
 	"p2pbackup/internal/churn"
 	"p2pbackup/internal/costmodel"
@@ -59,6 +61,14 @@ func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
 // month, 1 week, 1 day, 1 hour).
 func PaperObservers() []ObserverSpec { return sim.PaperObservers() }
 
+// Probe observes simulation events (churn, repairs, losses, round
+// boundaries); attach implementations via SimConfig.Probes. Embed
+// BaseProbe and override only the hooks of interest.
+type Probe = sim.Probe
+
+// BaseProbe is a no-op Probe for embedding.
+type BaseProbe = sim.BaseProbe
+
 // NewSimulation validates the config and builds a run.
 func NewSimulation(cfg SimConfig) (*Simulation, error) { return sim.New(cfg) }
 
@@ -71,6 +81,37 @@ func RunSimulation(cfg SimConfig) (*SimResult, error) {
 	return s.Run(), nil
 }
 
+// ---------------------------------------------------------------------------
+// Campaigns (batches of simulation runs)
+
+// Campaign is a declarative batch of simulation runs: a base config
+// plus a list of variants.
+type Campaign = experiments.Campaign
+
+// Variant is one named point of a campaign.
+type Variant = experiments.Variant
+
+// Runner executes campaigns over a bounded worker pool with context
+// cancellation and a typed event stream.
+type Runner = experiments.Runner
+
+// CampaignEvent is one element of a Runner's event stream.
+type CampaignEvent = experiments.Event
+
+// CampaignRow is one completed variant run.
+type CampaignRow = experiments.Row
+
+// ThresholdCampaign is the paper's figures 1/2 sweep as a campaign.
+func ThresholdCampaign(cfg SimConfig, thresholds []int) (Campaign, error) {
+	return experiments.ThresholdCampaign(cfg, thresholds)
+}
+
+// FocalCampaign is the paper's figures 3/4 run as a campaign.
+func FocalCampaign(cfg SimConfig) Campaign { return experiments.FocalCampaign(cfg) }
+
+// StrategyCampaign compares every partner-selection strategy.
+func StrategyCampaign(cfg SimConfig) Campaign { return experiments.StrategyCampaign(cfg) }
+
 // ExperimentOptions configures RunExperiment.
 type ExperimentOptions = experiments.Options
 
@@ -80,8 +121,17 @@ type ExperimentSummary = experiments.Summary
 // RunExperiment regenerates a paper table or figure by id: "fig1",
 // "fig2", "fig3", "fig4", "costmodel", "ablation-strategy",
 // "ablation-availability", "ablation-horizon", or "all".
+//
+// Deprecated: wrapper over RunExperimentContext with a background
+// context; it cannot be cancelled.
 func RunExperiment(name string, opts ExperimentOptions) ([]ExperimentSummary, error) {
 	return experiments.Run(name, opts)
+}
+
+// RunExperimentContext is RunExperiment with cancellation: the campaign
+// stops cleanly, including in-flight simulations, when ctx is done.
+func RunExperimentContext(ctx context.Context, name string, opts ExperimentOptions) ([]ExperimentSummary, error) {
+	return experiments.RunCtx(ctx, name, opts)
 }
 
 // ExperimentNames lists the runnable experiment ids.
