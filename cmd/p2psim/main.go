@@ -5,14 +5,22 @@
 //
 //	p2psim -exp fig1 -scale smoke -out results/
 //	p2psim -exp fig3 -scale default -seed 7 -out results/
+//	p2psim -exp diurnal -scale smoke -out results/
+//	p2psim -exp blackout -scale smoke -out results/
+//	p2psim -exp replay -trace trace.csv -out results/
 //	p2psim -exp all -scale smoke -out results/
 //
 // Experiments: fig1 fig2 (threshold sweep), fig3 fig4 (observers and
 // cumulative losses at threshold 148), costmodel (section 2.2.4 table),
-// ablation-strategy, ablation-availability, ablation-horizon, all.
+// ablation-strategy, ablation-availability, ablation-horizon,
+// ablation-delay, and the scenario campaigns: diurnal (day/night
+// amplitude sweep), blackout (correlated-failure shocks vs baseline),
+// replay (every selection strategy over one recorded churn trace,
+// -trace required; generate traces with cmd/tracegen), all.
 //
 // Scales: smoke (600 peers, 20k rounds), default (2,500 peers, 50k
-// rounds), paper (25,000 peers, 50k rounds - slow).
+// rounds), paper (25,000 peers, 50k rounds - slow). The replay
+// experiment takes its population and length from the trace instead.
 //
 // Campaigns run on the experiments.Runner: simulations execute over a
 // bounded worker pool and stream typed events; Ctrl-C cancels the
@@ -39,6 +47,7 @@ func main() {
 	out := flag.String("out", "results", "output directory for TSV files (empty = stdout summary only)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulation runs")
 	quiet := flag.Bool("quiet", false, "suppress progress messages")
+	trace := flag.String("trace", "", "churn trace (CSV/JSONL) for -exp replay")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -49,6 +58,7 @@ func main() {
 		Seed:        *seed,
 		Parallelism: *parallel,
 		OutDir:      *out,
+		TracePath:   *trace,
 	}
 	if !*quiet {
 		opts.Progress = func(msg string) {

@@ -5,7 +5,14 @@
 // Usage:
 //
 //	tracegen gen -peers 500 -rounds 20000 -seed 1 -out trace.csv
+//	tracegen gen -peers 500 -rounds 20000 -avail diurnal:0.8 -out trace.jsonl
 //	tracegen fit -in trace.csv
+//
+// The output format follows the -out extension (.jsonl/.ndjson for
+// JSONL, CSV otherwise) and carries each peer's behaviour profile, so
+// a generated trace round-trips into the simulator:
+//
+//	p2psim -exp replay -trace trace.csv
 package main
 
 import (
@@ -40,7 +47,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  tracegen gen -peers N -rounds R [-seed S] -out FILE
+  tracegen gen -peers N -rounds R [-seed S] [-avail MODEL] -out FILE
   tracegen fit -in FILE`)
 	os.Exit(2)
 }
@@ -50,13 +57,19 @@ func cmdGen(args []string) error {
 	peers := fs.Int("peers", 500, "population size")
 	rounds := fs.Int64("rounds", 20000, "rounds to simulate (1 round = 1 hour)")
 	seed := fs.Uint64("seed", 1, "random seed")
-	out := fs.String("out", "trace.csv", "output file")
+	avail := fs.String("avail", "session", "availability model: session, bernoulli, diurnal[:AMP]")
+	out := fs.String("out", "trace.csv", "output file (.jsonl/.ndjson for JSONL, else CSV)")
 	_ = fs.Parse(args)
 
+	model, err := churn.ModelByName(*avail)
+	if err != nil {
+		return err
+	}
 	cfg := sim.DefaultConfig()
 	cfg.NumPeers = *peers
 	cfg.Rounds = *rounds
 	cfg.Seed = *seed
+	cfg.Avail = model
 	cfg.RecordTrace = true
 	// Keep the run cheap: a tiny archive shape still drives the same
 	// churn process, and churn is all a trace captures.
@@ -70,17 +83,12 @@ func cmdGen(args []string) error {
 	}
 	res := s.Run()
 	res.Trace.Sort()
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := res.Trace.WriteCSV(f); err != nil {
+	if err := churn.WriteTraceFile(*out, res.Trace); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d events for %d peers over %d rounds to %s (%d departures)\n",
 		len(res.Trace.Events), *peers, *rounds, *out, res.Deaths)
-	return f.Close()
+	return nil
 }
 
 func cmdFit(args []string) error {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"p2pbackup/internal/rng"
 )
@@ -106,7 +107,9 @@ func (AlwaysOnline) SessionLength(_ *rng.Rand, _ float64, online bool) int64 {
 // ErrUnknownModel reports an unrecognised model name.
 var ErrUnknownModel = errors.New("churn: unknown availability model")
 
-// ModelByName resolves a model from its CLI name.
+// ModelByName resolves a model from its CLI name: "session",
+// "bernoulli", "always-online", or "diurnal"/"diurnal:AMP" (a day/night
+// cycle of the given amplitude over the session model).
 func ModelByName(name string) (AvailabilityModel, error) {
 	switch name {
 	case "session", "":
@@ -115,9 +118,11 @@ func ModelByName(name string) (AvailabilityModel, error) {
 		return BernoulliModel{}, nil
 	case "always-online":
 		return AlwaysOnline{}, nil
-	default:
-		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
 	}
+	if name == "diurnal" || strings.HasPrefix(name, "diurnal:") {
+		return parseDiurnalName(name)
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
 }
 
 // StationaryOnlineFraction estimates the long-run online fraction the

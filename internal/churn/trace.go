@@ -2,9 +2,12 @@ package churn
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -23,6 +26,7 @@ const (
 
 var kindNames = [...]string{"join", "leave", "online", "offline"}
 
+// String returns the kind's wire name ("join", "leave", ...).
 func (k EventKind) String() string {
 	if int(k) < len(kindNames) {
 		return kindNames[k]
@@ -40,43 +44,98 @@ func ParseEventKind(s string) (EventKind, error) {
 	return 0, fmt.Errorf("churn: unknown event kind %q", s)
 }
 
-// Event is one churn event for one peer.
+// NoProfile marks an event whose peer's behaviour profile is unknown
+// (legacy three-column traces, externally measured data).
+const NoProfile int16 = -1
+
+// Event is one churn event for one peer. Profile is the peer's
+// behaviour-profile index at the time of the event (NoProfile when
+// unknown); replay uses it to restore per-profile attribution.
 type Event struct {
-	Round int64
-	Peer  int32
-	Kind  EventKind
+	Round   int64
+	Peer    int32
+	Kind    EventKind
+	Profile int16
 }
 
 // Trace is an ordered log of churn events, recordable from a simulation
-// run and replayable into another.
+// run and replayable into another: sim.Config.RecordTrace captures one,
+// sim.Config.Replay consumes one.
 type Trace struct {
 	Events []Event
 }
 
-// Append adds an event.
+// Append adds an event with an unknown profile.
 func (t *Trace) Append(round int64, peer int32, kind EventKind) {
-	t.Events = append(t.Events, Event{Round: round, Peer: peer, Kind: kind})
+	t.AppendProfile(round, peer, kind, NoProfile)
+}
+
+// AppendProfile adds an event carrying the peer's profile index.
+func (t *Trace) AppendProfile(round int64, peer int32, kind EventKind, profile int16) {
+	t.Events = append(t.Events, Event{Round: round, Peer: peer, Kind: kind, Profile: profile})
+}
+
+// MaxPeer returns the largest peer id in the trace, or -1 for an empty
+// trace. Replay sizes its population as MaxPeer()+1.
+func (t *Trace) MaxPeer() int32 {
+	max := int32(-1)
+	for _, e := range t.Events {
+		if e.Peer > max {
+			max = e.Peer
+		}
+	}
+	return max
+}
+
+// LastRound returns the round of the latest event, or -1 for an empty
+// trace. A replayed run is naturally bounded by it: beyond that round
+// the trace specifies no churn at all.
+func (t *Trace) LastRound() int64 {
+	last := int64(-1)
+	for _, e := range t.Events {
+		if e.Round > last {
+			last = e.Round
+		}
+	}
+	return last
 }
 
 // kindSortPriority orders same-round events of one peer slot so that a
 // departure precedes the replacement's join (slots are reused in the
 // same round); otherwise Lifetimes would pair the new join with the old
-// leave and report zero-length lives.
+// leave and report zero-length lives. Session events follow the join.
 var kindSortPriority = [...]int{EvJoin: 1, EvLeave: 0, EvOnline: 2, EvOffline: 2}
+
+// eventLess is the engine order: round, then peer, then kind priority
+// (leave before the replacement's join, session events last).
+func eventLess(a, b Event) bool {
+	if a.Round != b.Round {
+		return a.Round < b.Round
+	}
+	if a.Peer != b.Peer {
+		return a.Peer < b.Peer
+	}
+	return kindSortPriority[a.Kind] < kindSortPriority[b.Kind]
+}
 
 // Sort orders events by round, then peer, then kind (leave before
 // join), making traces comparable across runs.
 func (t *Trace) Sort() {
 	sort.SliceStable(t.Events, func(i, j int) bool {
-		a, b := t.Events[i], t.Events[j]
-		if a.Round != b.Round {
-			return a.Round < b.Round
-		}
-		if a.Peer != b.Peer {
-			return a.Peer < b.Peer
-		}
-		return kindSortPriority[a.Kind] < kindSortPriority[b.Kind]
+		return eventLess(t.Events[i], t.Events[j])
 	})
+}
+
+// IsSorted reports whether the events are already in engine order.
+// Traces written by Sort, tracegen and the engine's recorder are;
+// replay uses this to skip a per-run copy and re-sort.
+func (t *Trace) IsSorted() bool {
+	for i := 1; i < len(t.Events); i++ {
+		if eventLess(t.Events[i], t.Events[i-1]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Lifetimes extracts completed lifetimes (leave round - join round) per
@@ -101,21 +160,27 @@ func (t *Trace) Lifetimes() []float64 {
 	return out
 }
 
-// WriteCSV emits the trace as "round,peer,kind" lines with a header.
+// csvHeader is the four-column header WriteCSV emits; ReadCSV also
+// accepts the legacy three-column "round,peer,kind".
+const csvHeader = "round,peer,kind,profile"
+
+// WriteCSV emits the trace as "round,peer,kind,profile" lines with a
+// header. Unknown profiles are written as -1.
 func (t *Trace) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "round,peer,kind"); err != nil {
+	if _, err := fmt.Fprintln(bw, csvHeader); err != nil {
 		return err
 	}
 	for _, e := range t.Events {
-		if _, err := fmt.Fprintf(bw, "%d,%d,%s\n", e.Round, e.Peer, e.Kind); err != nil {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%s,%d\n", e.Round, e.Peer, e.Kind, e.Profile); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadCSV parses a trace written by WriteCSV.
+// ReadCSV parses a trace written by WriteCSV. Legacy three-column
+// traces (no profile) are accepted; their events carry NoProfile.
 func ReadCSV(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -130,13 +195,13 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		}
 		if first {
 			first = false
-			if text == "round,peer,kind" {
+			if text == csvHeader || text == "round,peer,kind" {
 				continue
 			}
 		}
 		parts := strings.Split(text, ",")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("churn: line %d: want 3 fields, got %d", line, len(parts))
+		if len(parts) != 3 && len(parts) != 4 {
+			return nil, fmt.Errorf("churn: line %d: want 3 or 4 fields, got %d", line, len(parts))
 		}
 		round, err := strconv.ParseInt(parts[0], 10, 64)
 		if err != nil {
@@ -150,7 +215,15 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("churn: line %d: %w", line, err)
 		}
-		t.Append(round, int32(peer), kind)
+		profile := NoProfile
+		if len(parts) == 4 {
+			p, err := strconv.ParseInt(parts[3], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("churn: line %d: bad profile: %w", line, err)
+			}
+			profile = int16(p)
+		}
+		t.AppendProfile(round, int32(peer), kind, profile)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -159,4 +232,101 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		return nil, errors.New("churn: empty trace file")
 	}
 	return t, nil
+}
+
+// jsonEvent is the JSONL wire form of one event.
+type jsonEvent struct {
+	Round   int64  `json:"round"`
+	Peer    int32  `json:"peer"`
+	Kind    string `json:"kind"`
+	Profile int16  `json:"profile"`
+}
+
+// WriteJSONL emits the trace as one JSON object per line:
+//
+//	{"round":0,"peer":3,"kind":"join","profile":1}
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events {
+		if err := enc.Encode(jsonEvent{Round: e.Round, Peer: e.Peer, Kind: e.Kind.String(), Profile: e.Profile}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace written by WriteJSONL. A missing profile
+// field decodes as 0, so externally supplied JSONL should set profile
+// explicitly (use -1 for unknown).
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	t := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal([]byte(text), &je); err != nil {
+			return nil, fmt.Errorf("churn: line %d: %w", line, err)
+		}
+		kind, err := ParseEventKind(je.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("churn: line %d: %w", line, err)
+		}
+		t.AppendProfile(je.Round, je.Peer, kind, je.Profile)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.Events) == 0 {
+		return nil, errors.New("churn: empty trace file")
+	}
+	return t, nil
+}
+
+// jsonlExt reports whether a path names a JSONL trace.
+func jsonlExt(path string) bool {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".jsonl", ".ndjson":
+		return true
+	}
+	return false
+}
+
+// WriteTraceFile writes the trace to path, choosing the format by
+// extension: .jsonl/.ndjson for JSONL, anything else CSV.
+func WriteTraceFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if jsonlExt(path) {
+		err = t.WriteJSONL(f)
+	} else {
+		err = t.WriteCSV(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTraceFile reads a trace from path, choosing the format by
+// extension like WriteTraceFile.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if jsonlExt(path) {
+		return ReadJSONL(f)
+	}
+	return ReadCSV(f)
 }

@@ -1,0 +1,131 @@
+package churn
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	t := &Trace{}
+	t.AppendProfile(0, 0, EvJoin, 2)
+	t.AppendProfile(0, 0, EvOnline, 2)
+	t.AppendProfile(0, 1, EvJoin, 3)
+	t.AppendProfile(0, 1, EvOffline, 3)
+	t.AppendProfile(5, 0, EvLeave, 2)
+	t.AppendProfile(5, 0, EvJoin, 1)
+	t.AppendProfile(5, 0, EvOffline, 1)
+	t.AppendProfile(9, 1, EvOnline, 3)
+	return t
+}
+
+func TestTraceCSVProfileRoundTrip(t *testing.T) {
+	src := sampleTrace()
+	var buf bytes.Buffer
+	if err := src.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(src.Events, got.Events) {
+		t.Fatalf("CSV round trip changed events:\n%v\n%v", src.Events, got.Events)
+	}
+}
+
+func TestTraceCSVLegacyThreeColumns(t *testing.T) {
+	legacy := "round,peer,kind\n0,0,join\n0,0,online\n4,0,leave\n"
+	got, err := ReadCSV(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 3 {
+		t.Fatalf("%d events, want 3", len(got.Events))
+	}
+	for i, e := range got.Events {
+		if e.Profile != NoProfile {
+			t.Fatalf("event %d profile = %d, want NoProfile", i, e.Profile)
+		}
+	}
+}
+
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	src := sampleTrace()
+	var buf bytes.Buffer
+	if err := src.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kind":"join"`) {
+		t.Fatalf("unexpected JSONL shape: %q", buf.String())
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(src.Events, got.Events) {
+		t.Fatalf("JSONL round trip changed events:\n%v\n%v", src.Events, got.Events)
+	}
+}
+
+func TestTraceJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Fatal("empty JSONL accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"round":0,"peer":0,"kind":"explode"}` + "\n")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestTraceFileHelpers(t *testing.T) {
+	src := sampleTrace()
+	dir := t.TempDir()
+	for _, name := range []string{"trace.csv", "trace.jsonl"} {
+		path := filepath.Join(dir, name)
+		if err := WriteTraceFile(path, src); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReadTraceFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(src.Events, got.Events) {
+			t.Fatalf("%s round trip changed events", name)
+		}
+	}
+	if _, err := ReadTraceFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestTraceMaxPeer(t *testing.T) {
+	if got := (&Trace{}).MaxPeer(); got != -1 {
+		t.Fatalf("empty MaxPeer = %d, want -1", got)
+	}
+	if got := sampleTrace().MaxPeer(); got != 1 {
+		t.Fatalf("MaxPeer = %d, want 1", got)
+	}
+}
+
+func TestTraceIsSorted(t *testing.T) {
+	tr := sampleTrace()
+	if !tr.IsSorted() {
+		t.Fatal("sampleTrace not in engine order")
+	}
+	rev := &Trace{}
+	for i := len(tr.Events) - 1; i >= 0; i-- {
+		rev.Events = append(rev.Events, tr.Events[i])
+	}
+	if rev.IsSorted() {
+		t.Fatal("reversed trace reported sorted")
+	}
+	rev.Sort()
+	if !rev.IsSorted() {
+		t.Fatal("Sort did not produce engine order")
+	}
+}

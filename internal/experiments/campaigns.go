@@ -106,6 +106,78 @@ func RepairDelayCampaign(cfg sim.Config, delays []int) Campaign {
 	})
 }
 
+// DiurnalCampaign sweeps the day/night amplitude of the diurnal
+// availability scenario: amplitude 0 is the paper's flat availability,
+// higher amplitudes concentrate the population's online time into a
+// shared day and make nights a correlated availability trough.
+func DiurnalCampaign(cfg sim.Config, amplitudes []float64) Campaign {
+	labels := make([]string, len(amplitudes))
+	for i, a := range amplitudes {
+		labels[i] = fmt.Sprintf("amp=%.2f", a)
+	}
+	return ablationCampaign(cfg, "diurnal", labels, func(c *sim.Config, i int) {
+		c.Avail = churn.DefaultDiurnalModel(amplitudes[i])
+	})
+}
+
+// BlackoutCampaign compares correlated-failure scenarios against the
+// i.i.d. baseline: a population-wide temporary blackout, a regional
+// blackout, a regional permanent loss (the victims' blocks are gone),
+// and recurring small regional ISP outages. Shock timing scales with
+// the run length so every scale preset shocks mid-run.
+func BlackoutCampaign(cfg sim.Config) Campaign {
+	mid := cfg.Rounds / 2
+	weekly := 1.0 / float64(churn.Week)
+	scenarios := []struct {
+		label  string
+		shocks []sim.ShockSpec
+	}{
+		{"baseline", nil},
+		{"blackout-half", []sim.ShockSpec{
+			{Name: "blackout-half", Round: mid, Fraction: 0.5, Outage: 3 * churn.Day},
+		}},
+		{"regional-blackout", []sim.ShockSpec{
+			{Name: "regional-blackout", Round: mid, Fraction: 1, Regions: 8, Outage: 3 * churn.Day},
+		}},
+		{"regional-loss", []sim.ShockSpec{
+			{Name: "regional-loss", Round: mid, Fraction: 1, Regions: 8, Kill: true},
+		}},
+		{"weekly-isp-flap", []sim.ShockSpec{
+			{Name: "weekly-isp-flap", Rate: weekly, Fraction: 0.5, Regions: 16, Outage: 12 * churn.Hour},
+		}},
+	}
+	labels := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		labels[i] = s.label
+	}
+	return ablationCampaign(cfg, "blackout", labels, func(c *sim.Config, i int) {
+		c.Shocks = scenarios[i].shocks
+	})
+}
+
+// ReplayCampaign runs every registered selection strategy over the
+// same recorded churn trace — the paired comparison that synthetic
+// churn cannot offer: each variant sees the identical sequence of
+// joins, departures and sessions, so outcome differences are due to
+// the strategy alone.
+func ReplayCampaign(cfg sim.Config, trace *churn.Trace) Campaign {
+	// A replayed run is bounded by its trace: beyond the last recorded
+	// event there is no churn left to simulate.
+	if last := trace.LastRound(); last >= 0 && last+1 < cfg.Rounds {
+		cfg.Rounds = last + 1
+	}
+	names := selection.Names()
+	c := ablationCampaign(cfg, "replay", names, func(cc *sim.Config, i int) {
+		s, err := selection.ByName(names[i], cc.AcceptHorizon)
+		if err != nil {
+			panic(err) // names comes from the registry
+		}
+		cc.Strategy = s
+		cc.Replay = trace
+	})
+	return c
+}
+
 // HorizonCampaign sweeps the acceptance horizon L (A3).
 func HorizonCampaign(cfg sim.Config, horizons []int64) Campaign {
 	labels := make([]string, len(horizons))
@@ -167,10 +239,12 @@ func AblationFromRows(name string, rows []Row) *AblationResult {
 	points := make([]AblationPoint, 0, len(rows))
 	for _, row := range rows {
 		p := AblationPoint{
-			Label:   row.Name,
-			Repairs: row.Result.Collector.TotalRepairs(),
-			Losses:  row.Result.Collector.TotalLosses(),
-			Deaths:  row.Result.Deaths,
+			Label:       row.Name,
+			Repairs:     row.Result.Collector.TotalRepairs(),
+			Losses:      row.Result.Collector.TotalLosses(),
+			Deaths:      row.Result.Deaths,
+			Shocks:      row.Result.Collector.TotalShocks(),
+			ShockLosses: row.Result.Collector.ShockAttributedLosses(),
 		}
 		for cat := metrics.Category(0); cat < metrics.NumCategories; cat++ {
 			p.RepairRate[cat] = row.Result.Collector.RepairRatePer1000(cat, row.Config.CountInitialAsRepair)

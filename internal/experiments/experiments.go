@@ -254,6 +254,9 @@ type AblationPoint struct {
 	Losses     int64
 	Deaths     int64
 	Uploaded   int64 // total blocks uploaded (maintenance traffic)
+	// Correlated-failure attribution (zero for shock-free variants).
+	Shocks      int64 // shocks fired during the run
+	ShockLosses int64 // losses within metrics.ShockAttributionWindow of a shock
 }
 
 // AblationResult is a labelled comparison of variants.
@@ -305,7 +308,7 @@ func RunHorizonAblation(cfg sim.Config, horizons []int64, parallelism int, progr
 
 // WriteTSV emits the ablation comparison.
 func (a *AblationResult) WriteTSV(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "# ablation: %s\n#variant\trepairs\tlosses\tdeaths\tuploaded_blocks", a.Name); err != nil {
+	if _, err := fmt.Fprintf(w, "# ablation: %s\n#variant\trepairs\tlosses\tdeaths\tuploaded_blocks\tshocks\tshock_losses", a.Name); err != nil {
 		return err
 	}
 	for _, n := range metrics.CategoryNames() {
@@ -322,7 +325,8 @@ func (a *AblationResult) WriteTSV(w io.Writer) error {
 		return err
 	}
 	for _, p := range a.Points {
-		if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d", p.Label, p.Repairs, p.Losses, p.Deaths, p.Uploaded); err != nil {
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d",
+			p.Label, p.Repairs, p.Losses, p.Deaths, p.Uploaded, p.Shocks, p.ShockLosses); err != nil {
 			return err
 		}
 		for c := metrics.Category(0); c < metrics.NumCategories; c++ {

@@ -18,6 +18,10 @@ type Options struct {
 	Seed        uint64
 	Parallelism int
 	OutDir      string // "" = don't write files
+	// TracePath names a churn trace (CSV or JSONL, e.g. from
+	// cmd/tracegen) for the "replay" experiment; the trace defines the
+	// population size.
+	TracePath string
 	// Progress receives plain-text progress messages (heartbeats and
 	// per-variant completions).
 	Progress func(string)
@@ -54,7 +58,7 @@ type Summary struct {
 
 // Names lists the runnable experiment ids.
 func Names() []string {
-	return []string{"fig1", "fig2", "fig3", "fig4", "costmodel", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "all"}
+	return []string{"fig1", "fig2", "fig3", "fig4", "costmodel", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "diurnal", "blackout", "replay", "all"}
 }
 
 // Run executes an experiment by id and writes its data files.
@@ -91,9 +95,26 @@ func RunCtx(ctx context.Context, name string, opts Options) ([]Summary, error) {
 		return runAblation(ctx, opts, "ablation_horizon.tsv", func(cfg sim.Config) Campaign {
 			return HorizonCampaign(cfg, []int64{30 * churn.Day, 90 * churn.Day, 180 * churn.Day})
 		})
+	case "diurnal":
+		return runAblation(ctx, opts, "scenario_diurnal.tsv", func(cfg sim.Config) Campaign {
+			return DiurnalCampaign(cfg, []float64{0, 0.3, 0.6, 0.9})
+		})
+	case "blackout":
+		return runAblation(ctx, opts, "scenario_blackout.tsv", BlackoutCampaign)
+	case "replay":
+		if opts.TracePath == "" {
+			return nil, fmt.Errorf("experiments: replay needs a churn trace (-trace FILE; generate one with 'tracegen gen')")
+		}
+		trace, err := churn.ReadTraceFile(opts.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		return runAblation(ctx, opts, "scenario_replay.tsv", func(cfg sim.Config) Campaign {
+			return ReplayCampaign(cfg, trace)
+		})
 	case "all":
 		var all []Summary
-		for _, n := range []string{"costmodel", "fig1", "fig3", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay"} {
+		for _, n := range []string{"costmodel", "fig1", "fig3", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "diurnal", "blackout"} {
 			s, err := RunCtx(ctx, n, opts)
 			if err != nil {
 				return all, err

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/sim"
+)
+
+// runAblationTwice executes the campaign twice and fails unless both
+// executions produce identical typed results — the determinism
+// contract every scenario campaign must honour (same seed, same
+// Result, at any parallelism).
+func runAblationTwice(t *testing.T, name string, build func() Campaign) *AblationResult {
+	t.Helper()
+	run := func(parallelism int) *AblationResult {
+		rows, err := Runner{Parallelism: parallelism}.Run(context.Background(), build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return AblationFromRows(name, rows)
+	}
+	a, b := run(2), run(1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s campaign not deterministic:\n%+v\n%+v", name, a, b)
+	}
+	return a
+}
+
+func TestDiurnalCampaignDeterminism(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 200
+	amps := []float64{0, 0.5, 0.9}
+	res := runAblationTwice(t, "diurnal", func() Campaign { return DiurnalCampaign(cfg, amps) })
+	if len(res.Points) != len(amps) {
+		t.Fatalf("%d points, want %d", len(res.Points), len(amps))
+	}
+	if res.Points[0].Label != "amp=0.00" || res.Points[2].Label != "amp=0.90" {
+		t.Fatalf("labels = %v %v", res.Points[0].Label, res.Points[2].Label)
+	}
+	// The amplitude must matter: a full-swing day/night cycle cannot
+	// produce the identical trajectory as flat availability.
+	if res.Points[0] == res.Points[2] {
+		t.Fatal("amp=0 and amp=0.9 produced identical outcomes")
+	}
+}
+
+func TestBlackoutCampaignDeterminism(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 200
+	res := runAblationTwice(t, "blackout", func() Campaign { return BlackoutCampaign(cfg) })
+	if len(res.Points) != 5 {
+		t.Fatalf("%d points, want 5", len(res.Points))
+	}
+	if res.Points[0].Label != "baseline" || res.Points[0].Shocks != 0 {
+		t.Fatalf("baseline point = %+v", res.Points[0])
+	}
+	for _, p := range res.Points[1:4] {
+		if p.Shocks != 1 {
+			t.Fatalf("%s fired %d shocks, want 1 (scheduled mid-run)", p.Label, p.Shocks)
+		}
+	}
+}
+
+func TestReplayCampaignDeterminism(t *testing.T) {
+	trace := recordMicroTrace(t)
+	cfg := microConfig()
+	res := runAblationTwice(t, "replay", func() Campaign { return ReplayCampaign(cfg, trace) })
+	if len(res.Points) == 0 {
+		t.Fatal("no replay points")
+	}
+	// Identical churn per variant: every strategy must see the same
+	// death sequence.
+	for _, p := range res.Points[1:] {
+		if p.Deaths != res.Points[0].Deaths {
+			t.Fatalf("strategy %q saw %d deaths, %q saw %d — replay churn not shared",
+				p.Label, p.Deaths, res.Points[0].Label, res.Points[0].Deaths)
+		}
+	}
+}
+
+// recordMicroTrace captures the churn of a short micro-scale run.
+func recordMicroTrace(t *testing.T) *churn.Trace {
+	return recordTrace(t, microConfig().NumPeers)
+}
+
+// recordTrace captures the churn of a short run with the given
+// population (the archive shape does not matter for trace content).
+func recordTrace(t *testing.T, peers int) *churn.Trace {
+	t.Helper()
+	cfg := microConfig()
+	cfg.NumPeers = peers
+	cfg.Rounds = 200
+	cfg.RecordTrace = true
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Trace == nil || len(res.Trace.Events) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	return res.Trace
+}
+
+func TestRegistryReplayEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	// The registry replays at the base scale's paper-shaped archive
+	// (n=256), so the trace population must exceed n.
+	if err := churn.WriteTraceFile(path, recordTrace(t, 300)); err != nil {
+		t.Fatal(err)
+	}
+	sums, err := Run("replay", Options{OutDir: dir, TracePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || len(sums[0].Files) != 1 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	if filepath.Base(sums[0].Files[0]) != "scenario_replay.tsv" {
+		t.Fatalf("file = %s", sums[0].Files[0])
+	}
+	if !strings.Contains(sums[0].Text, "lifetime-oracle") {
+		t.Fatalf("text = %q", sums[0].Text)
+	}
+}
+
+func TestRegistryReplayNeedsTrace(t *testing.T) {
+	if _, err := Run("replay", Options{}); err == nil {
+		t.Fatal("replay without -trace accepted")
+	}
+	if _, err := Run("replay", Options{TracePath: "/does/not/exist.csv"}); err == nil {
+		t.Fatal("replay with missing trace accepted")
+	}
+}
+
+func TestRegistryScenarioNames(t *testing.T) {
+	names := strings.Join(Names(), " ")
+	for _, want := range []string{"diurnal", "blackout", "replay"} {
+		if !strings.Contains(names, want) {
+			t.Fatalf("Names() = %v missing %q", Names(), want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated wrapper coverage (kept from PR 1): the thin compatibility
+// shims must return exactly what the campaign path returns.
+
+func TestWrapperThresholdSweepAgrees(t *testing.T) {
+	cfg := microConfig()
+	old, err := RunThresholdSweep(cfg, []int{9, 13}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := ThresholdCampaign(cfg, []int{9, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Runner{Parallelism: 2}.Run(context.Background(), camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu := ThresholdSweepFromRows(rows)
+	if !reflect.DeepEqual(old.Points, neu.Points) {
+		t.Fatalf("wrapper sweep differs:\n%+v\n%+v", old.Points, neu.Points)
+	}
+}
+
+func TestWrapperFocalAgrees(t *testing.T) {
+	// The focal campaign pins threshold 148, which needs the paper's
+	// archive shape.
+	cfg := microConfig()
+	cfg.TotalBlocks = 256
+	cfg.DataBlocks = 128
+	cfg.Quota = 384
+	cfg.NumPeers = 600
+	cfg.Rounds = 150
+	old, err := RunFocal(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Runner{Parallelism: 1}.Run(context.Background(), FocalCampaign(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu := FocalFromRow(rows[0])
+	if old.Repairs != neu.Repairs || old.Losses != neu.Losses || old.Deaths != neu.Deaths ||
+		!reflect.DeepEqual(old.ObserverCounts, neu.ObserverCounts) {
+		t.Fatalf("wrapper focal differs:\n%+v\n%+v", old, neu)
+	}
+}
+
+func TestWrapperRegistryRunAgrees(t *testing.T) {
+	// Run is a background-context shim over RunCtx; both must produce
+	// the same summary text for a deterministic experiment.
+	a, err := Run("costmodel", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCtx(context.Background(), "costmodel", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Run != RunCtx:\n%+v\n%+v", a, b)
+	}
+}

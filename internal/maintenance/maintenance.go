@@ -29,6 +29,19 @@
 // The Maintainer operates on the overlay.Ledger and is driven by the
 // simulation engine, which decides which peers act each round and in
 // what order. It is not safe for concurrent use.
+//
+// Paper mapping (in the style of internal/selection):
+//
+//	§2.2.2 "maintenance"        Step, the monitor→repair transition
+//	§2.2.3 repair threshold k'  Params.RepairThreshold (trigger: visible < k')
+//	§2.2.4 bandwidth bound      Params.UploadBudgetPerRound (d≈128 blocks ≈ 1 round on DSL)
+//	§3.2   simulated protocol   the state machine (stateIdle → stateTriggered → stateUploading)
+//	§3.2   "d = 256" initial    the Uploading phase entered with d = n at join
+//	§5     future work: delay   Params.RepairDelay (+ CancelOnRecover)
+//
+// An archive is "lost" (the figures' metric) when visible blocks drop
+// below k — a decode outage; it is *permanently* lost when fewer than
+// k blocks survive on living peers.
 package maintenance
 
 import (

@@ -14,6 +14,19 @@
 // is the integral over rounds of lossesThisRound/populationThisRound,
 // i.e. the expected cumulative losses of a peer that stayed in the
 // category the whole time.
+//
+// Paper mapping (in the style of internal/selection):
+//
+//	§4.2.1 age categories       Category (newcomer <3mo, young 3-6mo, old 6-18mo, elder >18mo)
+//	§4.2.1 "per 1000 peers"     Collector.RepairRatePer1000 / LossRatePer1000
+//	§4.2.2 observer counts      ObserverTracker (Figure 3's cumulative step series)
+//	Fig. 2 "data lost"          Counts.Outages (visible < k decode outages)
+//	Fig. 4 losses per peer      Collector.LossSeries
+//
+// Beyond the paper: shock attribution. Correlated-failure scenarios
+// (sim.ShockSpec) report firings through RecordShock, and losses within
+// ShockAttributionWindow of the latest shock are additionally counted
+// as shock-attributed, splitting the loss metric by cause.
 package metrics
 
 import (
@@ -113,9 +126,24 @@ type Collector struct {
 	repairSeries [NumCategories]*stats.Series
 	todayRepairs [NumCategories]int64
 
+	// Correlated-failure attribution: losses within
+	// ShockAttributionWindow rounds of the most recent shock are
+	// counted as shock-attributed.
+	shocks       int64
+	shockVictims int64
+	shockLosses  int64
+	lastShock    int64
+
 	sampleEvery int64
 	warmup      int64 // rounds excluded from rate numerators/denominators
 }
+
+// ShockAttributionWindow is how long after a shock a lost archive is
+// still attributed to it, in rounds. Three days covers the repair
+// backlog a large shock creates: repairs are bandwidth-bounded (the
+// paper's section 2.2.4), so a mass outage keeps causing decode
+// failures well after the lights come back on.
+const ShockAttributionWindow = 3 * churn.Day
 
 // NewCollector returns a collector for numProfiles profiles, sampling
 // time series every sampleEvery rounds (one day = 24 is the paper's
@@ -131,6 +159,7 @@ func NewCollector(numProfiles int, sampleEvery, warmup int64) *Collector {
 		profLosses:  make([]int64, numProfiles),
 		sampleEvery: sampleEvery,
 		warmup:      warmup,
+		lastShock:   -2 * ShockAttributionWindow, // "no shock yet"
 	}
 	for i := range c.lossSeries {
 		c.lossSeries[i] = stats.NewSeries(Category(i).String() + " cumulative losses/peer")
@@ -182,6 +211,24 @@ func (c *Collector) RecordOutage(round int64, cat Category, profile int) {
 	c.cats[cat].Outages++
 	c.profLosses[profile]++
 	c.todayLosses[cat]++
+	if round-c.lastShock <= ShockAttributionWindow {
+		c.shockLosses++
+	}
+}
+
+// RecordShock notes a correlated-failure shock that took down victims
+// peers. Shocks are configuration-driven, so they are counted even
+// during warmup; loss attribution still honours the warmup window via
+// RecordOutage. A firing that hit nobody (all pool members already
+// offline or departing) does not open the attribution window —
+// attributing background losses to a shock with no victims would
+// overstate the damage.
+func (c *Collector) RecordShock(round int64, victims int) {
+	c.shocks++
+	c.shockVictims += int64(victims)
+	if victims > 0 {
+		c.lastShock = round
+	}
 }
 
 // RecordHardLoss notes a permanently lost archive (alive < k): fewer
@@ -296,6 +343,18 @@ func (c *Collector) TotalLosses() int64 {
 	}
 	return t
 }
+
+// TotalShocks returns the number of correlated-failure shocks fired.
+func (c *Collector) TotalShocks() int64 { return c.shocks }
+
+// ShockVictims returns the total peers taken down by shocks.
+func (c *Collector) ShockVictims() int64 { return c.shockVictims }
+
+// ShockAttributedLosses returns the lost archives that occurred within
+// ShockAttributionWindow rounds of a shock — the paper's loss metric
+// split by cause, so campaigns can report how much of the damage the
+// correlated failures did versus background churn.
+func (c *Collector) ShockAttributedLosses() int64 { return c.shockLosses }
 
 // TotalHardLosses sums permanent losses over all categories.
 func (c *Collector) TotalHardLosses() int64 {

@@ -206,3 +206,27 @@ func TestObserverTracker(t *testing.T) {
 		}
 	}
 }
+
+func TestCollectorShockAttribution(t *testing.T) {
+	c := NewCollector(1, 24, 0)
+	// Losses before any shock are background churn.
+	c.RecordOutage(10, Newcomer, 0)
+	if c.ShockAttributedLosses() != 0 {
+		t.Fatal("pre-shock loss attributed")
+	}
+	// A zero-victim firing is counted but must not open the window.
+	c.RecordShock(20, 0)
+	c.RecordOutage(21, Newcomer, 0)
+	if c.TotalShocks() != 1 || c.ShockAttributedLosses() != 0 {
+		t.Fatalf("zero-victim shock attributed losses: shocks=%d attributed=%d",
+			c.TotalShocks(), c.ShockAttributedLosses())
+	}
+	// A real shock attributes losses inside the window only.
+	c.RecordShock(100, 42)
+	c.RecordOutage(100+ShockAttributionWindow, Newcomer, 0)
+	c.RecordOutage(101+ShockAttributionWindow, Newcomer, 0)
+	if c.ShockVictims() != 42 || c.ShockAttributedLosses() != 1 {
+		t.Fatalf("victims=%d attributed=%d, want 42 and 1",
+			c.ShockVictims(), c.ShockAttributedLosses())
+	}
+}

@@ -9,6 +9,18 @@
 // owner's visible-block counter only when one of its hosts changes
 // session state or dies, making the per-round cost proportional to the
 // number of churn events.
+//
+// Paper mapping (in the style of internal/selection):
+//
+//	§2.2.1 "one block per partner"  Ledger.Place rejects duplicate (owner, host) pairs
+//	§2.2.1 storage quota            Ledger quota accounting (the paper's 384-block cap)
+//	§3.1   immediate replacement    PeerID slots + Table generation stamps: a departed
+//	                                peer's slot is reused and stale references invalidated
+//	§3.1   "blocks disappear"       RemovePeer drops both hosted and owned placements
+//	§4.2.2 observers                unmetered placements (observer blocks consume no quota)
+//
+// The visible counter (blocks on currently-online hosts) is the
+// quantity the maintenance trigger of §2.2.3 compares against k'.
 package overlay
 
 import (

@@ -84,6 +84,18 @@ type Config struct {
 	// kept as an ablation.
 	ResampleProfileOnReplace bool
 
+	// Shocks schedules correlated-failure events (power outages, ISP
+	// failures) on top of the profile churn; see ShockSpec. Mutually
+	// exclusive with Replay.
+	Shocks []ShockSpec
+	// Replay, when non-nil, drives membership and sessions from the
+	// recorded trace instead of the profile sampler: runs become
+	// deterministic in the churn dimension, enabling paired comparisons
+	// (same churn, different strategy). NumPeers is derived from the
+	// trace; Profiles is still used to map the trace's profile indices
+	// to availabilities for the oracle strategies.
+	Replay *churn.Trace
+
 	// Observers to instantiate (may be empty).
 	Observers []ObserverSpec
 
@@ -161,6 +173,28 @@ func (c Config) Validate() (Config, error) {
 	}
 	if c.ProgressEvery <= 0 {
 		c.ProgressEvery = 1000
+	}
+	if c.Replay != nil {
+		if len(c.Shocks) > 0 {
+			return c, fmt.Errorf("sim: Shocks and Replay are mutually exclusive (record a shocked run and replay that trace instead)")
+		}
+		// The trace defines the population; the full structural check
+		// happens in compileReplay at New time.
+		c.NumPeers = int(c.Replay.MaxPeer()) + 1
+	}
+	if len(c.Shocks) > 0 {
+		// Normalise a copy: the caller's slice may be shared between
+		// concurrently validated variants.
+		c.Shocks = append([]ShockSpec(nil), c.Shocks...)
+		for i := range c.Shocks {
+			sp := &c.Shocks[i]
+			if err := sp.Validate(); err != nil {
+				return c, err
+			}
+			if !sp.Kill && sp.Outage == 0 {
+				sp.Outage = churn.Day
+			}
+		}
 	}
 	if c.NumPeers < 2 {
 		return c, fmt.Errorf("sim: NumPeers = %d too small", c.NumPeers)

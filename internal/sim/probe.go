@@ -25,11 +25,27 @@ type RepairEvent struct {
 }
 
 // ChurnEvent reports a membership or session transition (join, leave,
-// online, offline) in the same vocabulary churn traces use.
+// online, offline) in the same vocabulary churn traces use. Profile is
+// the behaviour profile of the peer the event concerns (for a join, the
+// new occupant), so recorded traces replay with profile attribution
+// intact.
 type ChurnEvent struct {
-	Round int64
-	Peer  int
-	Kind  churn.EventKind
+	Round   int64
+	Peer    int
+	Kind    churn.EventKind
+	Profile int
+}
+
+// ShockEvent reports a correlated-failure shock firing: which spec
+// (Index into Config.Shocks), how many peers it actually took down, and
+// whether the victims departed permanently (Killed) or only went
+// offline. Metrics use it to attribute subsequent losses to the shock.
+type ShockEvent struct {
+	Round   int64
+	Index   int
+	Name    string
+	Victims int
+	Killed  bool
 }
 
 // ObserverRepairEvent reports a repair completed by a fixed-age
@@ -81,6 +97,8 @@ type Probe interface {
 	// OnCancel reports a pending repair aborted after visibility
 	// recovered.
 	OnCancel(PeerEvent)
+	// OnShock reports a correlated-failure shock firing.
+	OnShock(ShockEvent)
 	// OnObserverRepair reports a fixed-age observer completing a repair.
 	OnObserverRepair(ObserverRepairEvent)
 	// OnRoundEnd closes each round with the category populations.
@@ -111,6 +129,9 @@ func (BaseProbe) OnStall(PeerEvent) {}
 
 // OnCancel implements Probe.
 func (BaseProbe) OnCancel(PeerEvent) {}
+
+// OnShock implements Probe.
+func (BaseProbe) OnShock(ShockEvent) {}
 
 // OnObserverRepair implements Probe.
 func (BaseProbe) OnObserverRepair(ObserverRepairEvent) {}
@@ -143,6 +164,10 @@ func (p collectorProbe) OnStall(e PeerEvent) {
 	p.col.RecordStall(e.Round, e.Category)
 }
 
+func (p collectorProbe) OnShock(e ShockEvent) {
+	p.col.RecordShock(e.Round, e.Victims)
+}
+
 func (p collectorProbe) OnRoundEnd(e RoundEndEvent) {
 	for cat := metrics.Category(0); cat < metrics.NumCategories; cat++ {
 		p.col.AddPeerRounds(e.Round, cat, e.Population[cat])
@@ -167,5 +192,5 @@ type traceProbe struct {
 }
 
 func (p traceProbe) OnChurn(e ChurnEvent) {
-	p.trace.Append(e.Round, int32(e.Peer), e.Kind)
+	p.trace.AppendProfile(e.Round, int32(e.Peer), e.Kind, int16(e.Profile))
 }

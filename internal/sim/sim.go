@@ -82,6 +82,7 @@ type Simulation struct {
 	cancels  int64
 	trace    *churn.Trace
 	probes   []Probe
+	replay   *replayScript // non-nil: churn comes from Config.Replay
 
 	actors []overlay.PeerID // scratch: peers acting this round
 }
@@ -126,9 +127,26 @@ func New(cfg Config) (*Simulation, error) {
 		RepairDelay:          cfg.RepairDelay,
 	}, s.led, s.tab, cfg.Strategy, (*simEnv)(s))
 
-	for id := range s.peers {
-		s.initPeer(overlay.PeerID(id), 0, -1)
-		s.catPop[metrics.Newcomer]++
+	if cfg.Replay != nil {
+		// Replayed churn consumes no randomness: slots start dormant and
+		// the trace's round-0 joins populate them at the top of Run.
+		script, err := compileReplay(cfg.Replay, cfg.NumPeers)
+		if err != nil {
+			return nil, err
+		}
+		s.replay = script
+		for id := range s.peers {
+			p := &s.peers[id]
+			p.cat = metrics.Newcomer
+			p.death = never
+			p.toggle = never
+			p.catChange = never
+		}
+	} else {
+		for id := range s.peers {
+			s.initPeer(overlay.PeerID(id), 0, -1)
+			s.catPop[metrics.Newcomer]++
+		}
 	}
 	for i := range s.obsSpecs {
 		s.maint.SetUnmetered(s.observerSlot(i), true)
@@ -159,20 +177,32 @@ func (s *Simulation) initPeer(id overlay.PeerID, round int64, profile int) {
 	p.death = addClamped(round, life)
 	p.online = s.r.Bool(p.avail)
 	s.led.SetOnline(id, p.online)
-	p.toggle = addClamped(round, s.cfg.Avail.SessionLength(s.r, p.avail, p.online))
-	s.emitChurn(round, id, churn.EvJoin)
+	p.toggle = addClamped(round, churn.SessionLengthAt(s.cfg.Avail, s.r, p.avail, p.online, round))
+	s.emitChurn(round, id, churn.EvJoin, prof)
 	if p.online {
-		s.emitChurn(round, id, churn.EvOnline)
+		s.emitChurn(round, id, churn.EvOnline, prof)
 	} else {
-		s.emitChurn(round, id, churn.EvOffline)
+		s.emitChurn(round, id, churn.EvOffline, prof)
 	}
 }
 
 // emitChurn dispatches a churn event to every probe.
-func (s *Simulation) emitChurn(round int64, id overlay.PeerID, kind churn.EventKind) {
+func (s *Simulation) emitChurn(round int64, id overlay.PeerID, kind churn.EventKind, profile int) {
 	for _, p := range s.probes {
-		p.OnChurn(ChurnEvent{Round: round, Peer: int(id), Kind: kind})
+		p.OnChurn(ChurnEvent{Round: round, Peer: int(id), Kind: kind, Profile: profile})
 	}
+}
+
+// setOnline flips a population peer's session state, updating the
+// ledger and emitting the churn event.
+func (s *Simulation) setOnline(round int64, id overlay.PeerID, p *peer, online bool) {
+	p.online = online
+	s.led.SetOnline(id, online)
+	kind := churn.EvOffline
+	if online {
+		kind = churn.EvOnline
+	}
+	s.emitChurn(round, id, kind, int(p.profile))
 }
 
 // peerEvent builds the probe payload for a population peer.
@@ -266,18 +296,38 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 	}, nil
 }
 
-// stepRound advances one round: churn events first, then maintenance
-// actions in random order, then accounting.
+// stepRound advances one round: shocks first, then churn events (from
+// the profile sampler or the replay script), then maintenance actions
+// in random order, then accounting.
 func (s *Simulation) stepRound() {
 	round := s.round
 	s.actors = s.actors[:0]
 
-	// Phase 1: churn events and actor collection.
+	// Phase 0: correlated-failure shocks, so this round's churn and
+	// maintenance already see the damage.
+	if len(s.cfg.Shocks) > 0 {
+		s.stepShocks(round)
+	}
+
+	// Phase 1: churn events and actor collection. In replay mode the
+	// trace is the sole source of membership and session transitions;
+	// the per-peer loop below then only promotes categories and
+	// collects actors.
+	if s.replay != nil {
+		s.applyReplay(round)
+	}
 	for i := range s.peers {
 		id := overlay.PeerID(i)
 		p := &s.peers[i]
 
-		if round >= p.death {
+		if s.replay != nil {
+			if round >= p.catChange {
+				s.catPop[p.cat]--
+				p.cat++
+				s.catPop[p.cat]++
+				p.catChange = addClamped(p.join, metrics.CategoryBound(p.cat))
+			}
+		} else if round >= p.death {
 			s.replacePeer(id, p, round)
 		} else if round >= p.catChange {
 			s.catPop[p.cat]--
@@ -286,14 +336,14 @@ func (s *Simulation) stepRound() {
 			p.catChange = addClamped(p.join, metrics.CategoryBound(p.cat))
 		}
 
-		if round >= p.toggle {
+		if s.replay == nil && round >= p.toggle {
 			p.online = !p.online
 			s.led.SetOnline(id, p.online)
-			p.toggle = addClamped(round, s.cfg.Avail.SessionLength(s.r, p.avail, p.online))
+			p.toggle = addClamped(round, churn.SessionLengthAt(s.cfg.Avail, s.r, p.avail, p.online, round))
 			if p.online {
-				s.emitChurn(round, id, churn.EvOnline)
+				s.emitChurn(round, id, churn.EvOnline, int(p.profile))
 			} else {
-				s.emitChurn(round, id, churn.EvOffline)
+				s.emitChurn(round, id, churn.EvOffline, int(p.profile))
 			}
 		}
 
@@ -384,7 +434,7 @@ func (s *Simulation) replacePeer(id overlay.PeerID, p *peer, round int64) {
 	for _, pr := range s.probes {
 		pr.OnDeath(dead)
 	}
-	s.emitChurn(round, id, churn.EvLeave)
+	s.emitChurn(round, id, churn.EvLeave, int(p.profile))
 	s.deaths++
 	s.catPop[p.cat]--
 	s.catPop[metrics.Newcomer]++

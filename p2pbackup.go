@@ -120,7 +120,9 @@ type ExperimentSummary = experiments.Summary
 
 // RunExperiment regenerates a paper table or figure by id: "fig1",
 // "fig2", "fig3", "fig4", "costmodel", "ablation-strategy",
-// "ablation-availability", "ablation-horizon", or "all".
+// "ablation-availability", "ablation-horizon", "ablation-delay", the
+// scenario campaigns "diurnal", "blackout" and "replay" (needs
+// Options.TracePath), or "all".
 //
 // Deprecated: wrapper over RunExperimentContext with a background
 // context; it cannot be cancelled.
@@ -140,6 +142,58 @@ func ExperimentNames() []string { return experiments.Names() }
 // PaperProfiles returns the paper's four behaviour profiles (durable,
 // stable, unstable, erratic).
 func PaperProfiles() *churn.ProfileSet { return churn.PaperProfiles() }
+
+// ---------------------------------------------------------------------------
+// Scenarios (workloads beyond the paper's i.i.d. churn)
+
+// ShockSpec schedules a correlated-failure event (power outage, ISP
+// failure, regional loss); attach via SimConfig.Shocks.
+type ShockSpec = sim.ShockSpec
+
+// ShockEvent reports a shock firing to probes.
+type ShockEvent = sim.ShockEvent
+
+// AvailabilityModel generates peers' online/offline sessions; set
+// SimConfig.Avail.
+type AvailabilityModel = churn.AvailabilityModel
+
+// AvailabilityModelByName resolves "session", "bernoulli",
+// "always-online", or "diurnal[:AMP]".
+func AvailabilityModelByName(name string) (AvailabilityModel, error) {
+	return churn.ModelByName(name)
+}
+
+// DiurnalAvailability returns a day/night availability cycle of the
+// given amplitude (0 = the paper's flat model, 1 = full swing) over the
+// default session model.
+func DiurnalAvailability(amplitude float64) AvailabilityModel {
+	return churn.DefaultDiurnalModel(amplitude)
+}
+
+// ChurnTrace is a recorded churn event log: capture one with
+// SimConfig.RecordTrace, replay it with SimConfig.Replay.
+type ChurnTrace = churn.Trace
+
+// ReadTraceFile loads a churn trace (CSV or JSONL, by extension).
+func ReadTraceFile(path string) (*ChurnTrace, error) { return churn.ReadTraceFile(path) }
+
+// WriteTraceFile stores a churn trace (CSV or JSONL, by extension).
+func WriteTraceFile(path string, t *ChurnTrace) error { return churn.WriteTraceFile(path, t) }
+
+// DiurnalCampaign sweeps the day/night amplitude.
+func DiurnalCampaign(cfg SimConfig, amplitudes []float64) Campaign {
+	return experiments.DiurnalCampaign(cfg, amplitudes)
+}
+
+// BlackoutCampaign compares correlated-failure scenarios against the
+// i.i.d. baseline.
+func BlackoutCampaign(cfg SimConfig) Campaign { return experiments.BlackoutCampaign(cfg) }
+
+// ReplayCampaign runs every selection strategy over one recorded churn
+// trace (paired comparison: identical churn, different strategies).
+func ReplayCampaign(cfg SimConfig, trace *ChurnTrace) Campaign {
+	return experiments.ReplayCampaign(cfg, trace)
+}
 
 // ---------------------------------------------------------------------------
 // Erasure coding
