@@ -14,8 +14,10 @@ import (
 	"p2pbackup/internal/erasure"
 	"p2pbackup/internal/experiments"
 	"p2pbackup/internal/gf256"
+	"p2pbackup/internal/lifetime"
 	"p2pbackup/internal/maintenance"
 	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/monitor"
 	"p2pbackup/internal/rng"
 	"p2pbackup/internal/selection"
 	"p2pbackup/internal/sim"
@@ -300,6 +302,105 @@ func BenchmarkAcceptanceFunction(b *testing.B) {
 		acc += selection.AcceptanceFunction(int64(i%3000), int64((i*7)%3000), 2160)
 	}
 	_ = acc
+}
+
+// benchViews builds a deterministic candidate set with monitored
+// histories, the input shape of the Score/AcceptProb hot path.
+func benchViews(b *testing.B, n int) []selection.View {
+	b.Helper()
+	views := make([]selection.View, n)
+	for i := range views {
+		h := monitor.NewIntervalHistory(2160)
+		online := true
+		for round := int64(0); round < 2160; round += int64(20 + i%80) {
+			if err := h.RecordTransition(round, online); err != nil {
+				b.Fatal(err)
+			}
+			online = !online
+		}
+		views[i] = selection.View{
+			Observed: selection.Observed{Age: int64(i * 37 % 5000), History: h},
+			Oracle:   selection.Oracle{Availability: float64(i%100) / 100, Remaining: int64(i * 13 % 9000)},
+		}
+	}
+	return views
+}
+
+// BenchmarkPolicyScore measures the ranking hot path of every
+// registered strategy spec: one Score call per pooled candidate.
+func BenchmarkPolicyScore(b *testing.B) {
+	views := benchViews(b, 256)
+	for _, spec := range selection.Names() {
+		pol, err := selection.Parse(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec, func(b *testing.B) {
+			acc := 0.0
+			for i := 0; i < b.N; i++ {
+				acc += pol.Score(selection.Context{Round: 2160}, views[i%len(views)])
+			}
+			_ = acc
+		})
+	}
+}
+
+// BenchmarkPolicyAgree measures the mutual-acceptance hot path
+// (AcceptProb both directions plus the rng draws) for the
+// probabilistic age strategy and one always-accept baseline, whose
+// guarded path must be near-free.
+func BenchmarkPolicyAgree(b *testing.B) {
+	views := benchViews(b, 256)
+	for _, spec := range []string{"age", "random"} {
+		pol, err := selection.Parse(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec, func(b *testing.B) {
+			r := rng.New(11)
+			agreed := 0
+			for i := 0; i < b.N; i++ {
+				if selection.AgreeCtx(r, pol, selection.Context{Round: 2160},
+					views[i%len(views)], views[(i*7+3)%len(views)]) {
+					agreed++
+				}
+			}
+			_ = agreed
+		})
+	}
+}
+
+// BenchmarkEstimatorExpectedRemaining measures the estimators behind
+// the estimator:* specs at a mix of ages.
+func BenchmarkEstimatorExpectedRemaining(b *testing.B) {
+	empirical, err := lifetime.NewEmpiricalModel(func() []float64 {
+		r := rng.New(5)
+		s := make([]float64, 512)
+		for i := range s {
+			s[i] = 720 + 30000*r.Float64()
+		}
+		return s
+	}())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ests := []struct {
+		name string
+		est  lifetime.Estimator
+	}{
+		{"age-rank", lifetime.AgeRank{Horizon: 2160}},
+		{"pareto", lifetime.ParetoModel{Xm: 1, Alpha: 1.5}},
+		{"empirical", empirical},
+	}
+	for _, e := range ests {
+		b.Run(e.name, func(b *testing.B) {
+			acc := 0.0
+			for i := 0; i < b.N; i++ {
+				acc += e.est.ExpectedRemaining(float64(i * 31 % 40000))
+			}
+			_ = acc
+		})
+	}
 }
 
 // BenchmarkMaintainerStep measures one maintenance step for a peer in

@@ -5,6 +5,9 @@
 //
 //	p2psim -exp fig1 -scale smoke -out results/
 //	p2psim -exp fig3 -scale default -seed 7 -out results/
+//	p2psim -exp fig1 -strategy estimator:pareto -out results/
+//	p2psim -exp fig3 -strategy monitored-availability -out results/
+//	p2psim -exp ablation-estimator -scale smoke -out results/
 //	p2psim -exp diurnal -scale smoke -out results/
 //	p2psim -exp blackout -scale smoke -out results/
 //	p2psim -exp replay -trace trace.csv -out results/
@@ -13,10 +16,19 @@
 // Experiments: fig1 fig2 (threshold sweep), fig3 fig4 (observers and
 // cumulative losses at threshold 148), costmodel (section 2.2.4 table),
 // ablation-strategy, ablation-availability, ablation-horizon,
-// ablation-delay, and the scenario campaigns: diurnal (day/night
-// amplitude sweep), blackout (correlated-failure shocks vs baseline),
-// replay (every selection strategy over one recorded churn trace,
-// -trace required; generate traces with cmd/tracegen), all.
+// ablation-delay, ablation-estimator (age vs estimator-backed vs
+// monitored-availability ranking under i.i.d., diurnal and replayed
+// churn), and the scenario campaigns: diurnal (day/night amplitude
+// sweep), blackout (correlated-failure shocks vs baseline), replay
+// (every selection strategy over one recorded churn trace, -trace
+// required; generate traces with cmd/tracegen), all.
+//
+// -strategy overrides the partner-selection strategy of the base
+// configuration with a spec string from the selection registry: age,
+// age:L=2160, random, availability-oracle, lifetime-oracle,
+// youngest-first, estimator:age, estimator:pareto[:alpha=A,xm=X],
+// estimator:empirical[:n=N], monitored-availability[:W]. Campaigns that
+// sweep the strategy themselves ignore it per variant.
 //
 // Scales: smoke (600 peers, 20k rounds), default (2,500 peers, 50k
 // rounds), paper (25,000 peers, 50k rounds - slow). The replay
@@ -47,18 +59,20 @@ func main() {
 	out := flag.String("out", "results", "output directory for TSV files (empty = stdout summary only)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulation runs")
 	quiet := flag.Bool("quiet", false, "suppress progress messages")
-	trace := flag.String("trace", "", "churn trace (CSV/JSONL) for -exp replay")
+	trace := flag.String("trace", "", "churn trace (CSV/JSONL) for -exp replay / ablation-estimator")
+	strategy := flag.String("strategy", "", "partner-selection strategy spec, e.g. age:L=2160, estimator:pareto, monitored-availability:720 (default: the paper's age strategy)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	opts := experiments.Options{
-		Scale:       experiments.Scale(*scale),
-		Seed:        *seed,
-		Parallelism: *parallel,
-		OutDir:      *out,
-		TracePath:   *trace,
+		Scale:        experiments.Scale(*scale),
+		Seed:         *seed,
+		Parallelism:  *parallel,
+		OutDir:       *out,
+		TracePath:    *trace,
+		StrategySpec: *strategy,
 	}
 	if !*quiet {
 		opts.Progress = func(msg string) {

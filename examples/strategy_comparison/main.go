@@ -1,11 +1,13 @@
 // strategy_comparison: the ablation the paper motivates but does not
 // plot - how much does age-based selection actually buy? Compares the
 // paper's rule against random placement, an unimplementable oracle that
-// knows true remaining lifetimes, an availability oracle, and an
-// adversarial youngest-first rule, all on identical populations.
+// knows true remaining lifetimes, an availability oracle, an
+// adversarial youngest-first rule, and the observable-knowledge
+// rankings (estimator-backed and monitored-availability specs), all on
+// identical populations.
 //
-// The five runs are one experiments.Campaign executed concurrently by
-// the Runner.
+// The runs are one experiments.Campaign — one variant per registered
+// strategy spec — executed concurrently by the Runner.
 package main
 
 import (

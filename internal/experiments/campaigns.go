@@ -53,6 +53,16 @@ func FocalCampaign(cfg sim.Config) Campaign {
 	}}}
 }
 
+// setStrategySpec points a variant config at a strategy spec,
+// clearing every other strategy field: a base config's Policy or
+// Strategy must not leak into a campaign that sweeps the strategy
+// (Policy would silently win over StrategySpec in Validate).
+func setStrategySpec(c *sim.Config, spec string) {
+	c.Policy = nil
+	c.Strategy = nil
+	c.StrategySpec = spec
+}
+
 // ablationCampaign builds a labelled variant list with the ablations'
 // historical index-derived seeds.
 func ablationCampaign(cfg sim.Config, name string, labels []string, mutate func(c *sim.Config, i int)) Campaign {
@@ -70,15 +80,16 @@ func ablationCampaign(cfg sim.Config, name string, labels []string, mutate func(
 }
 
 // StrategyCampaign compares every registered partner-selection strategy
-// (A1 in DESIGN.md) on identical populations.
+// (A1 in DESIGN.md) on identical populations. Variants resolve through
+// the spec registry (sim.Config.StrategySpec), so estimator-backed and
+// monitored-availability strategies get the engine's monitoring
+// substrate; specs omitting a horizon inherit the config's
+// AcceptHorizon. Registration order is stable (the historical five
+// first), keeping the index-derived variant seeds reproducible.
 func StrategyCampaign(cfg sim.Config) Campaign {
 	names := selection.Names()
 	return ablationCampaign(cfg, "strategy", names, func(c *sim.Config, i int) {
-		s, err := selection.ByName(names[i], c.AcceptHorizon)
-		if err != nil {
-			panic(err) // names comes from the registry
-		}
-		c.Strategy = s
+		setStrategySpec(c, names[i])
 	})
 }
 
@@ -168,14 +179,59 @@ func ReplayCampaign(cfg sim.Config, trace *churn.Trace) Campaign {
 	}
 	names := selection.Names()
 	c := ablationCampaign(cfg, "replay", names, func(cc *sim.Config, i int) {
-		s, err := selection.ByName(names[i], cc.AcceptHorizon)
-		if err != nil {
-			panic(err) // names comes from the registry
-		}
-		cc.Strategy = s
+		setStrategySpec(cc, names[i])
 		cc.Replay = trace
 	})
 	return c
+}
+
+// EstimatorCampaign is the observable-knowledge ranking ablation: age
+// ranking against the estimator-backed rankings (Pareto, empirical) and
+// monitored-availability ranking, each under i.i.d. profile churn, a
+// diurnal day/night cycle, and — when a trace is supplied — replayed
+// churn (the paired comparison). The paper's claim is that ranking by
+// age is equivalent to ranking by any heavy-tailed lifetime estimate;
+// this campaign is the experiment that tests the claim where its
+// i.i.d. heavy-tail assumptions hold and where they do not.
+func EstimatorCampaign(cfg sim.Config, trace *churn.Trace) Campaign {
+	strategies := []string{"age", "estimator:pareto", "estimator:empirical", "monitored-availability"}
+	type variant struct {
+		label  string
+		mutate func(c *sim.Config)
+	}
+	var variants []variant
+	addBlock := func(block string, apply func(c *sim.Config)) {
+		for _, spec := range strategies {
+			spec := spec
+			variants = append(variants, variant{
+				label: block + "/" + spec,
+				mutate: func(c *sim.Config) {
+					setStrategySpec(c, spec)
+					apply(c)
+				},
+			})
+		}
+	}
+	addBlock("iid", func(c *sim.Config) {})
+	addBlock("diurnal", func(c *sim.Config) {
+		c.Avail = churn.DefaultDiurnalModel(0.6)
+	})
+	if trace != nil {
+		last := trace.LastRound()
+		addBlock("replay", func(c *sim.Config) {
+			c.Replay = trace
+			if last >= 0 && last+1 < c.Rounds {
+				c.Rounds = last + 1
+			}
+		})
+	}
+	labels := make([]string, len(variants))
+	for i, v := range variants {
+		labels[i] = v.label
+	}
+	return ablationCampaign(cfg, "estimator", labels, func(c *sim.Config, i int) {
+		variants[i].mutate(c)
+	})
 }
 
 // HorizonCampaign sweeps the acceptance horizon L (A3).
@@ -186,7 +242,7 @@ func HorizonCampaign(cfg sim.Config, horizons []int64) Campaign {
 	}
 	return ablationCampaign(cfg, "horizon", labels, func(c *sim.Config, i int) {
 		c.AcceptHorizon = horizons[i]
-		c.Strategy = selection.AgeBased{L: horizons[i]}
+		setStrategySpec(c, fmt.Sprintf("age:L=%d", horizons[i]))
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"p2pbackup/internal/churn"
 	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/selection"
 	"p2pbackup/internal/sim"
 )
 
@@ -161,8 +162,9 @@ func TestAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(strat.Points) != 5 {
-		t.Fatalf("strategy variants = %d", len(strat.Points))
+	if len(strat.Points) != len(selection.Names()) {
+		t.Fatalf("strategy variants = %d, want one per registered spec (%d)",
+			len(strat.Points), len(selection.Names()))
 	}
 	avail, err := RunAvailabilityAblation(cfg, 2, nil)
 	if err != nil {

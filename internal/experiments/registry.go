@@ -9,6 +9,7 @@ import (
 
 	"p2pbackup/internal/churn"
 	"p2pbackup/internal/costmodel"
+	"p2pbackup/internal/selection"
 	"p2pbackup/internal/sim"
 )
 
@@ -20,8 +21,16 @@ type Options struct {
 	OutDir      string // "" = don't write files
 	// TracePath names a churn trace (CSV or JSONL, e.g. from
 	// cmd/tracegen) for the "replay" experiment; the trace defines the
-	// population size.
+	// population size. The "ablation-estimator" experiment also uses it
+	// for its replay block when given (recording one internally
+	// otherwise).
 	TracePath string
+	// StrategySpec, when non-empty, overrides the base config's
+	// partner-selection strategy ("age:L=2160", "estimator:pareto",
+	// "monitored-availability:720"; see selection.Parse). Campaigns that
+	// sweep the strategy themselves (ablation-strategy, replay,
+	// ablation-estimator) override it per variant.
+	StrategySpec string
 	// Progress receives plain-text progress messages (heartbeats and
 	// per-variant completions).
 	Progress func(string)
@@ -58,7 +67,7 @@ type Summary struct {
 
 // Names lists the runnable experiment ids.
 func Names() []string {
-	return []string{"fig1", "fig2", "fig3", "fig4", "costmodel", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "diurnal", "blackout", "replay", "all"}
+	return []string{"fig1", "fig2", "fig3", "fig4", "costmodel", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "ablation-estimator", "diurnal", "blackout", "replay", "all"}
 }
 
 // Run executes an experiment by id and writes its data files.
@@ -95,6 +104,8 @@ func RunCtx(ctx context.Context, name string, opts Options) ([]Summary, error) {
 		return runAblation(ctx, opts, "ablation_horizon.tsv", func(cfg sim.Config) Campaign {
 			return HorizonCampaign(cfg, []int64{30 * churn.Day, 90 * churn.Day, 180 * churn.Day})
 		})
+	case "ablation-estimator":
+		return runEstimator(ctx, opts)
 	case "diurnal":
 		return runAblation(ctx, opts, "scenario_diurnal.tsv", func(cfg sim.Config) Campaign {
 			return DiurnalCampaign(cfg, []float64{0, 0.3, 0.6, 0.9})
@@ -114,7 +125,7 @@ func RunCtx(ctx context.Context, name string, opts Options) ([]Summary, error) {
 		})
 	case "all":
 		var all []Summary
-		for _, n := range []string{"costmodel", "fig1", "fig3", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "diurnal", "blackout"} {
+		for _, n := range []string{"costmodel", "fig1", "fig3", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "ablation-estimator", "diurnal", "blackout"} {
 			s, err := RunCtx(ctx, n, opts)
 			if err != nil {
 				return all, err
@@ -133,7 +144,60 @@ func baseFor(opts Options) (sim.Config, error) {
 		return cfg, err
 	}
 	cfg.Seed = opts.Seed
+	if opts.StrategySpec != "" {
+		// Parse eagerly so a typo fails before any simulation runs.
+		if _, err := selection.ParseWith(opts.StrategySpec, selection.Defaults{Horizon: cfg.AcceptHorizon}); err != nil {
+			return cfg, err
+		}
+		cfg.StrategySpec = opts.StrategySpec
+	}
 	return cfg, nil
+}
+
+// estimatorTraceRounds caps the internally recorded trace behind the
+// ablation-estimator replay block: long enough for elders to exist,
+// short enough that recording stays cheap at every scale.
+const estimatorTraceRounds = 10000
+
+// runEstimator executes the ablation-estimator experiment. Its replay
+// block replays opts.TracePath when given; otherwise it records a trace
+// internally from a strategy-neutral run (churn does not depend on the
+// strategy) with a seed derived from the base seed, so the whole
+// experiment stays a deterministic function of (scale, seed).
+func runEstimator(ctx context.Context, opts Options) ([]Summary, error) {
+	var trace *churn.Trace
+	if opts.TracePath != "" {
+		t, err := churn.ReadTraceFile(opts.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		trace = t
+	} else {
+		cfg, err := baseFor(opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Seed = cfg.Seed*7349981 + 17
+		if cfg.Rounds > estimatorTraceRounds {
+			cfg.Rounds = estimatorTraceRounds
+		}
+		cfg.RecordTrace = true
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("recording %d-round churn trace for the replay block", cfg.Rounds))
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.RunContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		trace = res.Trace
+	}
+	return runAblation(ctx, opts, "ablation_estimator.tsv", func(cfg sim.Config) Campaign {
+		return EstimatorCampaign(cfg, trace)
+	})
 }
 
 func writeFile(opts Options, name string, emit func(io.Writer) error) (string, error) {

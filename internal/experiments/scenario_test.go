@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"p2pbackup/internal/churn"
+	"p2pbackup/internal/selection"
 	"p2pbackup/internal/sim"
 )
 
@@ -209,5 +210,94 @@ func TestWrapperRegistryRunAgrees(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("Run != RunCtx:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestEstimatorCampaignDeterminism(t *testing.T) {
+	trace := recordMicroTrace(t)
+	cfg := microConfig()
+	cfg.Rounds = 200
+	res := runAblationTwice(t, "estimator", func() Campaign { return EstimatorCampaign(cfg, trace) })
+	// Three churn blocks (iid, diurnal, replay) x four strategies.
+	if len(res.Points) != 12 {
+		t.Fatalf("%d points, want 12", len(res.Points))
+	}
+	wantLabels := []string{"iid/age", "iid/estimator:pareto", "iid/estimator:empirical", "iid/monitored-availability"}
+	for i, w := range wantLabels {
+		if res.Points[i].Label != w {
+			t.Fatalf("label[%d] = %q, want %q", i, res.Points[i].Label, w)
+		}
+	}
+	// The replay block shares its churn: identical deaths per strategy.
+	var replay []AblationPoint
+	for _, p := range res.Points {
+		if strings.HasPrefix(p.Label, "replay/") {
+			replay = append(replay, p)
+		}
+	}
+	if len(replay) != 4 {
+		t.Fatalf("replay block has %d points", len(replay))
+	}
+	for _, p := range replay[1:] {
+		if p.Deaths != replay[0].Deaths {
+			t.Fatalf("replay churn not shared: %q saw %d deaths, %q saw %d",
+				p.Label, p.Deaths, replay[0].Label, replay[0].Deaths)
+		}
+	}
+	// Without a trace the campaign degrades to the two synthetic blocks.
+	noTrace := EstimatorCampaign(cfg, nil)
+	if len(noTrace.Variants) != 8 {
+		t.Fatalf("trace-less campaign has %d variants, want 8", len(noTrace.Variants))
+	}
+}
+
+func TestRegistryHasEstimatorExperiment(t *testing.T) {
+	names := strings.Join(Names(), " ")
+	if !strings.Contains(names, "ablation-estimator") {
+		t.Fatalf("Names() = %v missing ablation-estimator", Names())
+	}
+}
+
+// basePolicyLeakProbe is a always-accept constant-score policy used to
+// prove base-config strategy fields cannot leak into strategy sweeps.
+type basePolicyLeakProbe struct{}
+
+func (basePolicyLeakProbe) Name() string { return "leak-probe" }
+func (basePolicyLeakProbe) AcceptProb(selection.Context, selection.View, selection.View) float64 {
+	return 1
+}
+func (basePolicyLeakProbe) Score(selection.Context, selection.View) float64 { return 0 }
+
+func TestStrategySweepsIgnoreBaseStrategyFields(t *testing.T) {
+	// A base config carrying a Policy (or legacy Strategy) must not
+	// override the per-variant specs of strategy-sweeping campaigns:
+	// Validate resolves Policy first, so a leak would silently run one
+	// strategy under every label.
+	cfg := microConfig()
+	cfg.Rounds = 150
+	builds := map[string]func(c sim.Config) Campaign{
+		"strategy": StrategyCampaign,
+		"horizon": func(c sim.Config) Campaign {
+			return HorizonCampaign(c, []int64{24, 96})
+		},
+		"estimator": func(c sim.Config) Campaign {
+			return EstimatorCampaign(c, nil)
+		},
+	}
+	for name, build := range builds {
+		clean := build(cfg)
+		dirty := cfg
+		dirty.Policy = basePolicyLeakProbe{}
+		leaked := build(dirty)
+		for i, v := range clean.Variants {
+			want := clean.Base
+			v.Mutate(&want)
+			got := leaked.Base
+			leaked.Variants[i].Mutate(&got)
+			if got.Policy != nil || got.StrategySpec != want.StrategySpec {
+				t.Fatalf("%s[%s]: base Policy leaked into variant (spec %q, policy %v)",
+					name, v.Name, got.StrategySpec, got.Policy)
+			}
+		}
 	}
 }

@@ -156,13 +156,18 @@ type StepResult struct {
 }
 
 // Env supplies the Maintainer with information owned by the simulation
-// engine: peer descriptions for the strategy and candidate sampling.
+// engine: peer views for the selection policy, candidate sampling, and
+// the current round.
 type Env interface {
-	// Info describes a peer for the selection strategy.
-	Info(id overlay.PeerID) selection.PeerInfo
+	// View describes a peer for the selection policy, split into
+	// observable and oracle knowledge.
+	View(id overlay.PeerID) selection.View
 	// SampleCandidate draws a random potential partner, or NoPeer if
 	// none can be drawn.
 	SampleCandidate(r *rng.Rand) overlay.PeerID
+	// Round returns the current round, the "now" of windowed
+	// availability queries.
+	Round() int64
 }
 
 // state is the per-archive protocol state.
@@ -198,15 +203,16 @@ type Maintainer struct {
 	params Params
 	led    *overlay.Ledger
 	tab    *overlay.Table
-	strat  selection.Strategy
+	pol    selection.Policy
 	env    Env
 	peers  []peerState
 }
 
 // New returns a Maintainer over the ledger's slots. It panics on
 // invalid params (programmer error; validate user input with
-// Params.Validate first).
-func New(params Params, led *overlay.Ledger, tab *overlay.Table, strat selection.Strategy, env Env) *Maintainer {
+// Params.Validate first). Legacy selection.Strategy values are lifted
+// with selection.Adapt before being passed here.
+func New(params Params, led *overlay.Ledger, tab *overlay.Table, pol selection.Policy, env Env) *Maintainer {
 	if err := params.Validate(); err != nil {
 		panic(err)
 	}
@@ -217,7 +223,7 @@ func New(params Params, led *overlay.Ledger, tab *overlay.Table, strat selection
 		params: params,
 		led:    led,
 		tab:    tab,
-		strat:  strat,
+		pol:    pol,
 		env:    env,
 		peers:  make([]peerState, led.NumPeers()),
 	}
@@ -438,7 +444,8 @@ func (m *Maintainer) refreshPool(r *rng.Rand, id overlay.PeerID, p *peerState) {
 	if p.inPool == nil {
 		p.inPool = make(map[overlay.PeerID]uint32)
 	}
-	ownerInfo := m.env.Info(id)
+	ctx := selection.Context{Round: m.env.Round()}
+	ownerView := m.env.View(id)
 	for tries := 0; tries < m.params.PoolSamplePerRound && len(p.pool) < m.params.TotalBlocks; tries++ {
 		c := m.env.SampleCandidate(r)
 		if c == overlay.NoPeer || c == id {
@@ -456,12 +463,12 @@ func (m *Maintainer) refreshPool(r *rng.Rand, id overlay.PeerID, p *peerState) {
 		if m.led.HasPlacement(id, c) {
 			continue // one block per partner per archive
 		}
-		candInfo := m.env.Info(c)
-		if !selection.Agree(r, m.strat, ownerInfo, candInfo) {
+		candView := m.env.View(c)
+		if !selection.AgreeCtx(r, m.pol, ctx, ownerView, candView) {
 			continue
 		}
 		p.inPool[c] = m.tab.Gen(c)
-		p.pool = append(p.pool, poolEntry{ref: m.tab.Ref(c), score: m.strat.Score(candInfo)})
+		p.pool = append(p.pool, poolEntry{ref: m.tab.Ref(c), score: m.pol.Score(ctx, candView)})
 	}
 }
 

@@ -9,19 +9,22 @@ import (
 )
 
 // fakeEnv is a minimal maintenance.Env: static ages, uniform sampling
-// over the first n slots.
+// over the first n slots, a fixed round.
 type fakeEnv struct {
-	ages []int64
-	n    int
+	ages  []int64
+	n     int
+	round int64
 }
 
-func (f *fakeEnv) Info(id overlay.PeerID) selection.PeerInfo {
-	return selection.PeerInfo{Age: f.ages[id]}
+func (f *fakeEnv) View(id overlay.PeerID) selection.View {
+	return selection.View{Observed: selection.Observed{Age: f.ages[id]}}
 }
 
 func (f *fakeEnv) SampleCandidate(r *rng.Rand) overlay.PeerID {
 	return overlay.PeerID(r.Intn(f.n))
 }
+
+func (f *fakeEnv) Round() int64 { return f.round }
 
 // testParams: tiny archive so pools fill fast.
 func testParams() Params {
@@ -42,7 +45,7 @@ func harness(t *testing.T, peers int, params Params) (*Maintainer, *overlay.Ledg
 	led.SetStrict(true)
 	tab := overlay.NewTable(peers)
 	env := &fakeEnv{ages: make([]int64, peers), n: peers}
-	m := New(params, led, tab, selection.AgeBased{L: 100}, env)
+	m := New(params, led, tab, selection.Adapt(selection.AgeBased{L: 100}), env)
 	return m, led, tab, rng.New(7)
 }
 
@@ -349,7 +352,7 @@ func TestOldestFirstSelection(t *testing.T) {
 	}
 	env := &fakeEnv{ages: ages, n: 40}
 	p := testParams()
-	m := New(p, led, tab, selection.AgeBased{L: 100}, env)
+	m := New(p, led, tab, selection.Adapt(selection.AgeBased{L: 100}), env)
 	r := rng.New(3)
 	// Owner is peer 0 (age 0). Elders accept newcomers with probability
 	// 1/L = 1/100, so sampling needs patience; pool building handles it.
@@ -392,7 +395,7 @@ func TestQuotaRespected(t *testing.T) {
 	env := &fakeEnv{ages: make([]int64, 10), n: 10}
 	p := Params{TotalBlocks: 4, DataBlocks: 2, RepairThreshold: 3, PoolSamplePerRound: 64,
 		DropOffline: true, CancelOnRecover: true}
-	m := New(p, led, tab, selection.Random{}, env)
+	m := New(p, led, tab, selection.Adapt(selection.Random{}), env)
 	r := rng.New(5)
 	// 4 owners each place 4 blocks: demand 16 <= capacity 9*2=18 per
 	// owner's view; complete all.
@@ -421,7 +424,7 @@ func TestUnmeteredObserverBypassesQuota(t *testing.T) {
 	env := &fakeEnv{ages: make([]int64, 10), n: 9} // observers sample only peers 0..8
 	p := Params{TotalBlocks: 4, DataBlocks: 2, RepairThreshold: 3, PoolSamplePerRound: 64,
 		DropOffline: true, CancelOnRecover: true}
-	m := New(p, led, tab, selection.Random{}, env)
+	m := New(p, led, tab, selection.Adapt(selection.Random{}), env)
 	m.SetUnmetered(9, true)
 	r := rng.New(6)
 	// Saturate every host's quota with peer 0's backup... quota 1 means
@@ -535,7 +538,7 @@ func TestNewPanicsOnBadParams(t *testing.T) {
 			t.Fatal("New with invalid params must panic")
 		}
 	}()
-	New(bad, led, tab, selection.Random{}, env)
+	New(bad, led, tab, selection.Adapt(selection.Random{}), env)
 }
 
 func TestNewPanicsOnSizeMismatch(t *testing.T) {
@@ -547,5 +550,5 @@ func TestNewPanicsOnSizeMismatch(t *testing.T) {
 			t.Fatal("New with mismatched sizes must panic")
 		}
 	}()
-	New(testParams(), led, tab, selection.Random{}, env)
+	New(testParams(), led, tab, selection.Adapt(selection.Random{}), env)
 }

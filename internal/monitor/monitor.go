@@ -204,6 +204,15 @@ func (h *IntervalHistory) ObservedSince() (round int64, ok bool) {
 	return h.start, h.began
 }
 
+// Reset clears the history, keeping the configured window. Used when a
+// monitored identity is replaced (the observations belong to the
+// departed peer, not to the slot).
+func (h *IntervalHistory) Reset() {
+	h.trans = h.trans[:0]
+	h.began = false
+	h.start = 0
+}
+
 // Uptime returns the online fraction over [now-n, now), clamped to the
 // observed span. now is exclusive.
 func (h *IntervalHistory) Uptime(now int64, n int64) float64 {

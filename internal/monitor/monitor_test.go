@@ -247,3 +247,34 @@ func TestHistoriesAgree(t *testing.T) {
 		}
 	}
 }
+
+func TestIntervalHistoryReset(t *testing.T) {
+	h := NewIntervalHistory(100)
+	if err := h.RecordTransition(10, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RecordTransition(40, false); err != nil {
+		t.Fatal(err)
+	}
+	if h.Transitions() == 0 {
+		t.Fatal("no transitions recorded")
+	}
+	h.Reset()
+	if h.Transitions() != 0 {
+		t.Fatalf("transitions after Reset = %d", h.Transitions())
+	}
+	if _, ok := h.ObservedSince(); ok {
+		t.Fatal("ObservedSince must report unobserved after Reset")
+	}
+	if got := h.Uptime(50, 50); got != 0 {
+		t.Fatalf("Uptime after Reset = %v, want 0", got)
+	}
+	// The history is reusable, including from an earlier round than the
+	// pre-reset tail (a replacement peer joins "in the past" of nothing).
+	if err := h.RecordTransition(5, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Uptime(25, 20); got != 1 {
+		t.Fatalf("Uptime after reuse = %v, want 1", got)
+	}
+}

@@ -18,6 +18,22 @@
 // Once a pool of mutually accepting candidates exists, the owner ranks
 // it and takes the top candidates; the paper ranks by age (oldest
 // first). Baselines substitute the ranking and/or acceptance rule.
+//
+// The package's primary surface is the observable/oracle knowledge
+// split in view.go (View, Context, Policy) and the spec-string registry
+// in spec.go (Register, Parse); the PeerInfo/Strategy/ByName surface
+// below predates the split and is kept as deprecated adapters.
+//
+// Paper mapping:
+//
+//	§3.2 acceptance function f(p1,p2)   AcceptanceFunction
+//	§3.2 rank by age, capped at L       the "age" spec (agePolicy)
+//	§4.1 baseline comparisons           "random", the oracles,
+//	                                    "youngest-first" specs
+//	§2.1 lifetime estimation            "estimator:*" specs ranking by
+//	                                    a lifetime.Estimator
+//	§2.1 availability monitoring        "monitored-availability" spec
+//	                                    over Observed.History
 package selection
 
 import (
@@ -27,10 +43,14 @@ import (
 	"p2pbackup/internal/rng"
 )
 
-// PeerInfo carries what a strategy may know about a peer. Age is the
-// only field an implementable protocol can observe (via the monitoring
-// substrate); Availability and Remaining are ground truth that only the
+// PeerInfo carries what a strategy may know about a peer, flattened
+// into one struct. Age is the only field an implementable protocol can
+// observe; Availability and Remaining are ground truth that only the
 // oracle baselines read.
+//
+// Deprecated: the View type makes that epistemic split explicit
+// (Observed vs Oracle) and adds monitored-availability queries; new
+// code should consume View.
 type PeerInfo struct {
 	// Age is the number of rounds since the peer joined the system.
 	Age int64
@@ -40,7 +60,12 @@ type PeerInfo struct {
 	Remaining int64
 }
 
-// Strategy decides partnerships and ranks candidates.
+// Strategy decides partnerships and ranks candidates from a flat
+// PeerInfo.
+//
+// Deprecated: implement Policy, which separates observable from oracle
+// knowledge and receives the round context for window queries; lift
+// legacy implementations with Adapt.
 type Strategy interface {
 	// Name identifies the strategy in reports.
 	Name() string
@@ -53,9 +78,20 @@ type Strategy interface {
 }
 
 // Agree draws both directions of a partnership: the owner must accept
-// the candidate and the candidate must accept the owner.
+// the candidate and the candidate must accept the owner. Acceptance
+// probabilities of exactly one consume no randomness, and strategies
+// declaring AcceptsAll skip the evaluation entirely.
+//
+// Deprecated: use AgreeCtx with a Policy.
 func Agree(r *rng.Rand, s Strategy, owner, candidate PeerInfo) bool {
-	return r.Bool(s.AcceptProb(owner, candidate)) && r.Bool(s.AcceptProb(candidate, owner))
+	if AcceptsAll(s) {
+		return true
+	}
+	if p := s.AcceptProb(owner, candidate); p < 1 && !r.Bool(p) {
+		return false
+	}
+	p := s.AcceptProb(candidate, owner)
+	return p >= 1 || r.Bool(p)
 }
 
 // ---------------------------------------------------------------------------
@@ -129,6 +165,9 @@ func (Random) AcceptProb(_, _ PeerInfo) float64 { return 1 }
 // Score is constant; pool order (already random) decides.
 func (Random) Score(PeerInfo) float64 { return 0 }
 
+// AlwaysAccepts declares the constant acceptance for Agree's fast path.
+func (Random) AlwaysAccepts() bool { return true }
+
 // AvailabilityOracle accepts everyone and ranks by true availability -
 // an unimplementable upper bound that ignores lifetimes.
 type AvailabilityOracle struct{}
@@ -141,6 +180,9 @@ func (AvailabilityOracle) AcceptProb(_, _ PeerInfo) float64 { return 1 }
 
 // Score is the true availability.
 func (AvailabilityOracle) Score(c PeerInfo) float64 { return c.Availability }
+
+// AlwaysAccepts declares the constant acceptance for Agree's fast path.
+func (AvailabilityOracle) AlwaysAccepts() bool { return true }
 
 // LifetimeOracle accepts everyone and ranks by true remaining lifetime,
 // the quantity age merely estimates. The gap between LifetimeOracle and
@@ -158,6 +200,9 @@ func (LifetimeOracle) AcceptProb(_, _ PeerInfo) float64 { return 1 }
 // Score is the true remaining lifetime.
 func (LifetimeOracle) Score(c PeerInfo) float64 { return float64(c.Remaining) }
 
+// AlwaysAccepts declares the constant acceptance for Agree's fast path.
+func (LifetimeOracle) AlwaysAccepts() bool { return true }
+
 // YoungestFirst is the adversarial baseline: rank youngest first. If
 // the age signal carries information, this must perform WORSE than
 // Random.
@@ -172,32 +217,42 @@ func (YoungestFirst) AcceptProb(_, _ PeerInfo) float64 { return 1 }
 // Score is the negated age.
 func (YoungestFirst) Score(c PeerInfo) float64 { return -float64(c.Age) }
 
+// AlwaysAccepts declares the constant acceptance for Agree's fast path.
+func (YoungestFirst) AlwaysAccepts() bool { return true }
+
 // ---------------------------------------------------------------------------
-// Registry
+// Legacy name resolution
 
 // ErrUnknownStrategy reports an unrecognised strategy name.
 var ErrUnknownStrategy = errors.New("selection: unknown strategy")
 
-// ByName resolves a strategy from its CLI name. The age strategy takes
-// its horizon from the l parameter; the others ignore it.
+// ByName resolves a strategy from its spec name, projecting the result
+// onto the legacy Strategy interface. The l argument is the default
+// horizon for every spec that takes one (age's L, estimator:age's L,
+// monitored-availability's window) — it is no longer silently dropped
+// for non-age strategies — and explicit spec parameters override it.
+// Unknown names wrap ErrUnknownStrategy; unknown or misplaced
+// parameters wrap ErrBadSpec.
+//
+// Deprecated: use Parse or ParseWith, which return the Policy surface.
 func ByName(name string, l int64) (Strategy, error) {
-	switch name {
-	case "age", "":
-		return AgeBased{L: l}, nil
-	case "random":
-		return Random{}, nil
-	case "availability-oracle":
-		return AvailabilityOracle{}, nil
-	case "lifetime-oracle":
-		return LifetimeOracle{}, nil
-	case "youngest-first":
-		return YoungestFirst{}, nil
-	default:
-		return nil, fmt.Errorf("%w: %q", ErrUnknownStrategy, name)
+	pol, err := ParseWith(name, Defaults{Horizon: l})
+	if err != nil {
+		return nil, err
 	}
-}
-
-// Names lists the registered strategy names.
-func Names() []string {
-	return []string{"age", "random", "availability-oracle", "lifetime-oracle", "youngest-first"}
+	// Preserve the historical concrete types for the original names so
+	// long-standing callers can still type-assert.
+	switch p := pol.(type) {
+	case agePolicy:
+		return AgeBased{L: p.L}, nil
+	case randomPolicy:
+		return Random{}, nil
+	case availOraclePolicy:
+		return AvailabilityOracle{}, nil
+	case lifetimeOraclePolicy:
+		return LifetimeOracle{}, nil
+	case youngestPolicy:
+		return YoungestFirst{}, nil
+	}
+	return AsStrategy(pol), nil
 }

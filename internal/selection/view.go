@@ -1,0 +1,206 @@
+package selection
+
+// This file is the redesigned selection API: an explicit split between
+// what an implementable protocol can OBSERVE about a peer and what only
+// the simulator's ORACLE knows, plus the Policy interface strategies
+// implement against that split.
+//
+// Paper mapping:
+//
+//	§2.1 "peers cannot know lifetimes"   View.Observed vs View.Oracle
+//	§2.1 monitoring substrate [17],[14]  Observed.History (availability
+//	                                     queries "for a given period of
+//	                                     time, for example the last 90
+//	                                     days"), fed from
+//	                                     monitor.IntervalHistory by the
+//	                                     sim engine
+//	§3.2 acceptance + ranking            Policy.AcceptProb, Policy.Score
+//	§4.1 oracle baselines                Oracle.Availability/Remaining
+//
+// The legacy PeerInfo/Strategy surface in selection.go remains as
+// deprecated adapters (Adapt, AsStrategy) so existing callers keep
+// working bit-identically.
+
+import "p2pbackup/internal/rng"
+
+// AvailabilityHistory answers windowed availability queries about one
+// peer: the monitoring substrate the paper assumes (AVMON, Pacemaker).
+// *monitor.IntervalHistory satisfies it.
+type AvailabilityHistory interface {
+	// Uptime returns the online fraction over [now-n, now), clamped to
+	// the observed span; zero when nothing is recorded.
+	Uptime(now int64, n int64) float64
+	// ObservedSince returns the first observed round; ok is false if the
+	// peer was never observed.
+	ObservedSince() (round int64, ok bool)
+}
+
+// Observed is the knowledge an implementable protocol has about a peer:
+// its age (public join time) and its monitored availability history.
+type Observed struct {
+	// Age is the number of rounds since the peer joined the system.
+	Age int64
+	// History answers availability window queries for this peer; nil
+	// when no monitoring substrate is attached (e.g. views built from
+	// the deprecated PeerInfo adapter).
+	History AvailabilityHistory
+}
+
+// Uptime returns the monitored online fraction over the last window
+// rounds before now; ok is false when no history is attached.
+func (o Observed) Uptime(now, window int64) (uptime float64, ok bool) {
+	if o.History == nil {
+		return 0, false
+	}
+	return o.History.Uptime(now, window), true
+}
+
+// Oracle is ground truth only the simulator knows: the peer's true
+// long-run availability and its true remaining lifetime. Implementable
+// strategies must not read it; the oracle baselines exist precisely to
+// bound what perfect knowledge would buy (DESIGN.md A1).
+type Oracle struct {
+	// Availability is the peer's true long-run online fraction.
+	Availability float64
+	// Remaining is the peer's true remaining lifetime in rounds.
+	Remaining int64
+}
+
+// View is everything a strategy may be told about a candidate or
+// acceptor, split by epistemic status.
+type View struct {
+	// Observed is the implementable knowledge (age, monitored history).
+	Observed Observed
+	// Oracle is simulator ground truth, for oracle baselines only.
+	Oracle Oracle
+}
+
+// Context carries run-wide information for one AcceptProb/Score call.
+type Context struct {
+	// Round is the current simulation round; windowed history queries
+	// use it as "now".
+	Round int64
+}
+
+// Policy is the redesigned strategy interface: it decides partnerships
+// and ranks candidates from a View, with the Context supplying the
+// current round for window queries.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// AcceptProb returns the probability that acceptor agrees to a
+	// partnership requested by requester.
+	AcceptProb(ctx Context, acceptor, requester View) float64
+	// Score ranks a candidate for selection by an owner; higher is
+	// preferred.
+	Score(ctx Context, candidate View) float64
+}
+
+// alwaysAccepter is the optional marker a Policy or Strategy implements
+// to declare AcceptProb constantly one, letting Agree/AgreeCtx skip the
+// acceptance evaluation entirely.
+type alwaysAccepter interface{ AlwaysAccepts() bool }
+
+// AcceptsAll reports whether a policy or strategy declares (via an
+// `AlwaysAccepts() bool` method) that it accepts every partnership.
+func AcceptsAll(v any) bool {
+	aa, ok := v.(alwaysAccepter)
+	return ok && aa.AlwaysAccepts()
+}
+
+// AgreeCtx draws both directions of a partnership under a Policy: the
+// owner must accept the candidate and the candidate must accept the
+// owner. Acceptance probabilities of exactly one are short-circuited
+// without consuming randomness (rng.Bool already guarantees that), and
+// always-accept policies (AcceptsAll) skip the evaluation entirely.
+func AgreeCtx(r *rng.Rand, p Policy, ctx Context, owner, candidate View) bool {
+	if AcceptsAll(p) {
+		return true
+	}
+	if pr := p.AcceptProb(ctx, owner, candidate); pr < 1 && !r.Bool(pr) {
+		return false
+	}
+	pr := p.AcceptProb(ctx, candidate, owner)
+	return pr >= 1 || r.Bool(pr)
+}
+
+// ---------------------------------------------------------------------------
+// Adapters between the legacy Strategy surface and Policy.
+
+// legacyPolicy lifts a deprecated Strategy into a Policy by collapsing
+// the View back into the flat PeerInfo it expects.
+type legacyPolicy struct{ s Strategy }
+
+// Adapt lifts a legacy Strategy into a Policy. The strategy sees a
+// PeerInfo carrying both knowledge classes, exactly as before the
+// observable/oracle split, so adapted strategies behave bit-identically
+// to the pre-redesign engine.
+func Adapt(s Strategy) Policy {
+	if ap, ok := s.(policyStrategy); ok {
+		return ap.p // unwrap a round-tripped policy
+	}
+	return legacyPolicy{s: s}
+}
+
+// Name implements Policy.
+func (l legacyPolicy) Name() string { return l.s.Name() }
+
+// AcceptProb implements Policy via the wrapped strategy.
+func (l legacyPolicy) AcceptProb(_ Context, acceptor, requester View) float64 {
+	return l.s.AcceptProb(flatten(acceptor), flatten(requester))
+}
+
+// Score implements Policy via the wrapped strategy.
+func (l legacyPolicy) Score(_ Context, candidate View) float64 {
+	return l.s.Score(flatten(candidate))
+}
+
+// AlwaysAccepts forwards the wrapped strategy's marker.
+func (l legacyPolicy) AlwaysAccepts() bool { return AcceptsAll(l.s) }
+
+// flatten collapses a View into the legacy PeerInfo.
+func flatten(v View) PeerInfo {
+	return PeerInfo{
+		Age:          v.Observed.Age,
+		Availability: v.Oracle.Availability,
+		Remaining:    v.Oracle.Remaining,
+	}
+}
+
+// policyStrategy projects a Policy onto the deprecated Strategy
+// interface for legacy call sites. The View it synthesises has no
+// monitoring history and a zero Context, so window-query strategies
+// degrade to their no-history fallback there.
+type policyStrategy struct{ p Policy }
+
+// AsStrategy projects a Policy onto the deprecated Strategy interface.
+func AsStrategy(p Policy) Strategy {
+	if lp, ok := p.(legacyPolicy); ok {
+		return lp.s // unwrap a round-tripped strategy
+	}
+	return policyStrategy{p: p}
+}
+
+// Name implements Strategy.
+func (a policyStrategy) Name() string { return a.p.Name() }
+
+// AcceptProb implements Strategy via the wrapped policy.
+func (a policyStrategy) AcceptProb(acceptor, requester PeerInfo) float64 {
+	return a.p.AcceptProb(Context{}, inflate(acceptor), inflate(requester))
+}
+
+// Score implements Strategy via the wrapped policy.
+func (a policyStrategy) Score(candidate PeerInfo) float64 {
+	return a.p.Score(Context{}, inflate(candidate))
+}
+
+// AlwaysAccepts forwards the wrapped policy's marker.
+func (a policyStrategy) AlwaysAccepts() bool { return AcceptsAll(a.p) }
+
+// inflate spreads a legacy PeerInfo over the View knowledge split.
+func inflate(i PeerInfo) View {
+	return View{
+		Observed: Observed{Age: i.Age},
+		Oracle:   Oracle{Availability: i.Availability, Remaining: i.Remaining},
+	}
+}

@@ -59,7 +59,21 @@ type Config struct {
 	// Avail generates online/offline sessions (default: exponential
 	// sessions with a one-day mean cycle).
 	Avail churn.AvailabilityModel
-	// Strategy picks partners (default: the paper's age-based rule).
+	// Policy picks partners on the observable/oracle knowledge split.
+	// Default: the paper's age-based rule with L = AcceptHorizon.
+	// Takes precedence over StrategySpec and Strategy.
+	Policy selection.Policy
+	// StrategySpec names the partner-selection policy as a spec string
+	// ("age:L=2160", "estimator:pareto", "monitored-availability:720";
+	// see selection.Parse). Specs omitting a horizon default to
+	// AcceptHorizon. Ignored when Policy is set; mutually exclusive
+	// with Strategy.
+	StrategySpec string
+	// Strategy picks partners through the legacy flat-PeerInfo
+	// interface.
+	//
+	// Deprecated: set Policy or StrategySpec; a non-nil Strategy is
+	// lifted with selection.Adapt.
 	Strategy selection.Strategy
 
 	// DropOffline: repairs abandon currently offline partners (default
@@ -165,8 +179,19 @@ func (c Config) Validate() (Config, error) {
 	if c.Avail == nil {
 		c.Avail = churn.DefaultSessionModel()
 	}
-	if c.Strategy == nil {
-		c.Strategy = selection.AgeBased{L: c.AcceptHorizon}
+	if c.Policy == nil {
+		switch {
+		case c.Strategy != nil && c.StrategySpec != "":
+			return c, fmt.Errorf("sim: Strategy and StrategySpec are mutually exclusive (set one)")
+		case c.Strategy != nil:
+			c.Policy = selection.Adapt(c.Strategy)
+		default:
+			pol, err := selection.ParseWith(c.StrategySpec, selection.Defaults{Horizon: c.AcceptHorizon})
+			if err != nil {
+				return c, fmt.Errorf("sim: %w", err)
+			}
+			c.Policy = pol
+		}
 	}
 	if c.SampleEvery <= 0 {
 		c.SampleEvery = churn.Day

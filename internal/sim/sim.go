@@ -28,6 +28,7 @@ import (
 	"p2pbackup/internal/churn"
 	"p2pbackup/internal/maintenance"
 	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/monitor"
 	"p2pbackup/internal/overlay"
 	"p2pbackup/internal/rng"
 	"p2pbackup/internal/selection"
@@ -84,6 +85,15 @@ type Simulation struct {
 	probes   []Probe
 	replay   *replayScript // non-nil: churn comes from Config.Replay
 
+	// hist is the monitoring substrate: one availability history per
+	// population slot over the last AcceptHorizon rounds (the paper's
+	// "any peer can query the availability of any other peer ... for
+	// example the last 90 days"). Maintained by the engine on every
+	// session transition; consumes no randomness. Reset when the slot's
+	// occupant is replaced — observations belong to identities, not
+	// slots.
+	hist []*monitor.IntervalHistory
+
 	actors []overlay.PeerID // scratch: peers acting this round
 }
 
@@ -102,6 +112,10 @@ func New(cfg Config) (*Simulation, error) {
 		col:      metrics.NewCollector(cfg.Profiles.Len(), cfg.SampleEvery, cfg.Warmup),
 		peers:    make([]peer, cfg.NumPeers),
 		obsSpecs: cfg.Observers,
+		hist:     make([]*monitor.IntervalHistory, cfg.NumPeers),
+	}
+	for i := range s.hist {
+		s.hist[i] = monitor.NewIntervalHistory(cfg.AcceptHorizon)
 	}
 	names := make([]string, len(cfg.Observers))
 	for i, o := range cfg.Observers {
@@ -125,7 +139,7 @@ func New(cfg Config) (*Simulation, error) {
 		DropOffline:          cfg.DropOffline,
 		CancelOnRecover:      cfg.CancelOnRecover,
 		RepairDelay:          cfg.RepairDelay,
-	}, s.led, s.tab, cfg.Strategy, (*simEnv)(s))
+	}, s.led, s.tab, cfg.Policy, (*simEnv)(s))
 
 	if cfg.Replay != nil {
 		// Replayed churn consumes no randomness: slots start dormant and
@@ -177,6 +191,8 @@ func (s *Simulation) initPeer(id overlay.PeerID, round int64, profile int) {
 	p.death = addClamped(round, life)
 	p.online = s.r.Bool(p.avail)
 	s.led.SetOnline(id, p.online)
+	s.hist[id].Reset() // fresh identity: observations start over
+	s.recordSession(round, id, p.online)
 	p.toggle = addClamped(round, churn.SessionLengthAt(s.cfg.Avail, s.r, p.avail, p.online, round))
 	s.emitChurn(round, id, churn.EvJoin, prof)
 	if p.online {
@@ -194,15 +210,25 @@ func (s *Simulation) emitChurn(round int64, id overlay.PeerID, kind churn.EventK
 }
 
 // setOnline flips a population peer's session state, updating the
-// ledger and emitting the churn event.
+// ledger and the monitoring history and emitting the churn event.
 func (s *Simulation) setOnline(round int64, id overlay.PeerID, p *peer, online bool) {
 	p.online = online
 	s.led.SetOnline(id, online)
+	s.recordSession(round, id, online)
 	kind := churn.EvOffline
 	if online {
 		kind = churn.EvOnline
 	}
 	s.emitChurn(round, id, kind, int(p.profile))
+}
+
+// recordSession feeds a session transition into the slot's availability
+// history. Rounds advance monotonically under engine control, so a
+// record failure is a bug.
+func (s *Simulation) recordSession(round int64, id overlay.PeerID, online bool) {
+	if err := s.hist[id].RecordTransition(round, online); err != nil {
+		panic(err)
+	}
 }
 
 // peerEvent builds the probe payload for a population peer.
@@ -222,25 +248,39 @@ func addClamped(round, delta int64) int64 {
 // allocation per call.
 type simEnv Simulation
 
-// Info implements maintenance.Env.
-func (e *simEnv) Info(id overlay.PeerID) selection.PeerInfo {
+// steadyHistory is the monitoring view of an observer peer: always
+// online for as long as anyone has looked.
+type steadyHistory struct{}
+
+func (steadyHistory) Uptime(now int64, n int64) float64     { return 1 }
+func (steadyHistory) ObservedSince() (round int64, ok bool) { return 0, true }
+
+// View implements maintenance.Env: observable knowledge (age, monitored
+// availability history) split from the oracle ground truth only the
+// oracle baselines read.
+func (e *simEnv) View(id overlay.PeerID) selection.View {
 	s := (*Simulation)(e)
 	if int(id) >= s.cfg.NumPeers {
 		// Observer: fixed age, immortal, always online.
 		spec := s.obsSpecs[int(id)-s.cfg.NumPeers]
-		return selection.PeerInfo{Age: spec.Age, Availability: 1, Remaining: never}
+		return selection.View{
+			Observed: selection.Observed{Age: spec.Age, History: steadyHistory{}},
+			Oracle:   selection.Oracle{Availability: 1, Remaining: never},
+		}
 	}
 	p := &s.peers[id]
 	remaining := int64(never)
 	if p.death != never {
 		remaining = p.death - s.round
 	}
-	return selection.PeerInfo{
-		Age:          s.round - p.join,
-		Availability: p.avail,
-		Remaining:    remaining,
+	return selection.View{
+		Observed: selection.Observed{Age: s.round - p.join, History: s.hist[id]},
+		Oracle:   selection.Oracle{Availability: p.avail, Remaining: remaining},
 	}
 }
+
+// Round implements maintenance.Env.
+func (e *simEnv) Round() int64 { return (*Simulation)(e).round }
 
 // SampleCandidate implements maintenance.Env: uniform over the regular
 // population (observers are invisible as candidates, per the paper).
@@ -337,14 +377,11 @@ func (s *Simulation) stepRound() {
 		}
 
 		if s.replay == nil && round >= p.toggle {
-			p.online = !p.online
-			s.led.SetOnline(id, p.online)
-			p.toggle = addClamped(round, churn.SessionLengthAt(s.cfg.Avail, s.r, p.avail, p.online, round))
-			if p.online {
-				s.emitChurn(round, id, churn.EvOnline, int(p.profile))
-			} else {
-				s.emitChurn(round, id, churn.EvOffline, int(p.profile))
-			}
+			// The session draw must stay ahead of the churn emit so the
+			// rng stream matches the historical inline flip.
+			next := addClamped(round, churn.SessionLengthAt(s.cfg.Avail, s.r, p.avail, !p.online, round))
+			s.setOnline(round, id, p, !p.online)
+			p.toggle = next
 		}
 
 		// Permanent-loss detection is objective (the data is gone) and

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"p2pbackup/internal/churn"
@@ -388,12 +389,10 @@ func TestTraceRecording(t *testing.T) {
 }
 
 func TestStrategySwap(t *testing.T) {
-	// The engine must run with every registered strategy.
+	// The engine must run with every registered strategy spec, resolved
+	// through Config.StrategySpec so window-query strategies see the
+	// monitoring substrate.
 	for _, name := range selection.Names() {
-		strat, err := selection.ByName(name, 48)
-		if err != nil {
-			t.Fatal(err)
-		}
 		cfg := smallConfig()
 		cfg.Rounds = 100
 		cfg.NumPeers = 60
@@ -401,7 +400,7 @@ func TestStrategySwap(t *testing.T) {
 		cfg.DataBlocks = 4
 		cfg.RepairThreshold = 5
 		cfg.Quota = 24
-		cfg.Strategy = strat
+		cfg.StrategySpec = name
 		s, err := New(cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -413,6 +412,126 @@ func TestStrategySwap(t *testing.T) {
 		if err := s.Ledger().CheckConsistency(); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
+	}
+}
+
+func TestStrategySwapLegacyByName(t *testing.T) {
+	// The deprecated ByName adapters must still drive the engine
+	// through Config.Strategy. Note that Adapt unwraps ByName's
+	// round-tripped policies, so monitored-availability here still
+	// reaches the engine's monitoring substrate — the no-history
+	// fallback only applies to Strategy implementations consuming
+	// PeerInfo directly (e.g. the live node's directory).
+	for _, name := range []string{"age", "random", "monitored-availability"} {
+		strat, err := selection.ByName(name, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallConfig()
+		cfg.Rounds = 60
+		cfg.NumPeers = 60
+		cfg.TotalBlocks = 8
+		cfg.DataBlocks = 4
+		cfg.RepairThreshold = 5
+		cfg.Quota = 24
+		cfg.Strategy = strat
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res := s.Run(); res.FinalIncluded == 0 {
+			t.Fatalf("%s: nobody included", name)
+		}
+	}
+}
+
+func TestConfigStrategyResolution(t *testing.T) {
+	cfg := smallConfig()
+	// Default: the paper's age policy at the config's horizon.
+	v, err := cfg.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("age(L=%d)", cfg.AcceptHorizon)
+	if v.Policy == nil || v.Policy.Name() != want {
+		t.Fatalf("default policy = %v, want %s", v.Policy, want)
+	}
+	// Spec path: explicit parameters win over the config horizon.
+	cfg.StrategySpec = "age:L=7"
+	if v, err = cfg.Validate(); err != nil || v.Policy.Name() != "age(L=7)" {
+		t.Fatalf("spec policy = %v (%v)", v.Policy, err)
+	}
+	// Bad specs are rejected at validation time.
+	cfg.StrategySpec = "age:bogus=1"
+	if _, err = cfg.Validate(); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	// Strategy and StrategySpec are mutually exclusive.
+	cfg.StrategySpec = "age"
+	cfg.Strategy = selection.AgeBased{L: 9}
+	if _, err = cfg.Validate(); err == nil {
+		t.Fatal("Strategy+StrategySpec accepted")
+	}
+	// Legacy Strategy alone is lifted.
+	cfg.StrategySpec = ""
+	if v, err = cfg.Validate(); err != nil || v.Policy.Name() != "age(L=9)" {
+		t.Fatalf("adapted policy = %v (%v)", v.Policy, err)
+	}
+}
+
+func TestMonitoredHistoriesTrackSessions(t *testing.T) {
+	// The engine's per-slot availability histories must agree with the
+	// oracle availability in expectation: a (nearly) always-online
+	// profile must show ~1 uptime, and the simEnv view must expose the
+	// history to strategies.
+	cfg := smallConfig()
+	cfg.Rounds = 400
+	cfg.AcceptHorizon = 200
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	env := (*simEnv)(s)
+	if env.Round() != cfg.Rounds {
+		t.Fatalf("env round = %d, want %d", env.Round(), cfg.Rounds)
+	}
+	seen := 0
+	for id := range s.peers {
+		v := env.View(overlay.PeerID(id))
+		if v.Observed.History == nil {
+			t.Fatalf("peer %d has no monitoring history", id)
+		}
+		up, ok := v.Observed.Uptime(s.round, cfg.AcceptHorizon)
+		if !ok {
+			t.Fatalf("peer %d: no uptime", id)
+		}
+		if up < 0 || up > 1 {
+			t.Fatalf("peer %d: uptime %v outside [0,1]", id, up)
+		}
+		// Peers that joined at round 0 and never died have a full
+		// window; their observed uptime must roughly match their true
+		// availability.
+		p := &s.peers[id]
+		if p.join == 0 && p.avail >= 0.9 {
+			seen++
+			if up < 0.5 {
+				t.Errorf("peer %d: avail %.2f but monitored uptime %.2f", id, p.avail, up)
+			}
+		}
+	}
+	if seen == 0 {
+		t.Skip("no surviving high-availability peer from round 0")
+	}
+	// Observer views are steady full-uptime histories.
+	cfg.Observers = []ObserverSpec{{Name: "elder", Age: 100}}
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := (*simEnv)(s2).View(overlay.PeerID(cfg.NumPeers))
+	if up, ok := ov.Observed.Uptime(50, 10); !ok || up != 1 {
+		t.Fatalf("observer uptime = %v/%v, want 1", up, ok)
 	}
 }
 

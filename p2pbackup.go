@@ -120,9 +120,9 @@ type ExperimentSummary = experiments.Summary
 
 // RunExperiment regenerates a paper table or figure by id: "fig1",
 // "fig2", "fig3", "fig4", "costmodel", "ablation-strategy",
-// "ablation-availability", "ablation-horizon", "ablation-delay", the
-// scenario campaigns "diurnal", "blackout" and "replay" (needs
-// Options.TracePath), or "all".
+// "ablation-availability", "ablation-horizon", "ablation-delay",
+// "ablation-estimator", the scenario campaigns "diurnal", "blackout"
+// and "replay" (needs Options.TracePath), or "all".
 //
 // Deprecated: wrapper over RunExperimentContext with a background
 // context; it cannot be cancelled.
@@ -195,6 +195,13 @@ func ReplayCampaign(cfg SimConfig, trace *ChurnTrace) Campaign {
 	return experiments.ReplayCampaign(cfg, trace)
 }
 
+// EstimatorCampaign compares age vs estimator-backed vs
+// monitored-availability ranking under i.i.d., diurnal and (when trace
+// is non-nil) replayed churn.
+func EstimatorCampaign(cfg SimConfig, trace *ChurnTrace) Campaign {
+	return experiments.EstimatorCampaign(cfg, trace)
+}
+
 // ---------------------------------------------------------------------------
 // Erasure coding
 
@@ -224,21 +231,82 @@ func FitParetoLifetimes(samples []float64) (ParetoModel, error) {
 	return lifetime.FitPareto(samples)
 }
 
+// EmpiricalLifetimeModel is a distribution-free remaining-lifetime
+// estimator backed by observed complete lifetimes.
+type EmpiricalLifetimeModel = lifetime.EmpiricalModel
+
+// NewEmpiricalLifetimeModel builds the distribution-free estimator from
+// observed complete lifetimes.
+func NewEmpiricalLifetimeModel(lifetimes []float64) (*EmpiricalLifetimeModel, error) {
+	return lifetime.NewEmpiricalModel(lifetimes)
+}
+
 // ---------------------------------------------------------------------------
 // Selection strategies
 
-// Strategy decides partnerships and ranks candidates.
+// Policy decides partnerships and ranks candidates on the
+// observable/oracle knowledge split; set SimConfig.Policy or resolve
+// one from a spec string with ParseStrategy.
+type Policy = selection.Policy
+
+// View is everything a Policy may be told about a peer, split into
+// Observed (age, monitored availability history) and Oracle (ground
+// truth for the oracle baselines).
+type View = selection.View
+
+// SelectionContext carries the current round into Policy calls.
+type SelectionContext = selection.Context
+
+// StrategyBuilder constructs a Policy from parsed spec parameters; use
+// with RegisterStrategy.
+type StrategyBuilder = selection.Builder
+
+// EstimatorRanked ranks candidates by a lifetime estimator applied to
+// their observed age (the "estimator:*" specs).
+type EstimatorRanked = selection.EstimatorRanked
+
+// MonitoredAvailabilityStrategy ranks candidates by monitored uptime
+// over a window (the "monitored-availability[:W]" spec).
+type MonitoredAvailabilityStrategy = selection.MonitoredAvailability
+
+// ParseStrategy resolves a strategy spec string ("age:L=2160",
+// "estimator:pareto", "monitored-availability:720", ...) with the
+// paper's 90-day default horizon. See StrategyNames for the registry.
+func ParseStrategy(spec string) (Policy, error) { return selection.Parse(spec) }
+
+// RegisterStrategy adds a strategy spec to the registry, making it
+// resolvable by ParseStrategy, the campaigns and the p2psim -strategy
+// flag.
+func RegisterStrategy(name string, b StrategyBuilder) { selection.Register(name, b) }
+
+// StrategyNames lists the registered strategy spec names.
+func StrategyNames() []string { return selection.Names() }
+
+// Strategy decides partnerships and ranks candidates from a flat
+// PeerInfo.
+//
+// Deprecated: implement Policy (see selection.Adapt for lifting legacy
+// implementations); SimConfig still accepts Strategy values.
 type Strategy = selection.Strategy
 
-// PeerInfo describes a peer to a strategy.
+// PeerInfo describes a peer to a legacy Strategy.
+//
+// Deprecated: new code consumes View.
 type PeerInfo = selection.PeerInfo
 
+// AdaptStrategy lifts a legacy Strategy into a Policy.
+func AdaptStrategy(s Strategy) Policy { return selection.Adapt(s) }
+
 // AgeBasedStrategy is the paper's acceptance rule with horizon L (in
-// rounds).
+// rounds) on the legacy surface.
+//
+// Deprecated: use ParseStrategy("age:L=...") for the Policy surface.
 func AgeBasedStrategy(horizon int64) Strategy { return selection.AgeBased{L: horizon} }
 
-// StrategyByName resolves "age", "random", "availability-oracle",
-// "lifetime-oracle" or "youngest-first".
+// StrategyByName resolves a strategy spec name onto the legacy Strategy
+// surface; horizon is the default for specs that take one.
+//
+// Deprecated: use ParseStrategy.
 func StrategyByName(name string, horizon int64) (Strategy, error) {
 	return selection.ByName(name, horizon)
 }
