@@ -37,6 +37,16 @@
 // Campaigns run on the experiments.Runner: simulations execute over a
 // bounded worker pool and stream typed events; Ctrl-C cancels the
 // whole campaign cleanly, including simulations already in flight.
+//
+// -cpuprofile and -memprofile write pprof profiles of the campaign
+// (CPU over the whole run, heap at exit), so the engine's hot paths
+// can be inspected without a throwaway harness:
+//
+//	p2psim -exp fig1 -scale default -cpuprofile cpu.pb.gz
+//	go tool pprof cpu.pb.gz
+//
+// Profiles are flushed on every exit path, including campaign errors
+// and Ctrl-C.
 package main
 
 import (
@@ -46,6 +56,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -53,6 +64,12 @@ import (
 )
 
 func main() {
+	// The body lives in run so deferred profile flushes execute on
+	// every exit path, including campaign errors and Ctrl-C.
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "fig1", "experiment id: "+strings.Join(experiments.Names(), " "))
 	scale := flag.String("scale", "smoke", "scale preset: "+strings.Join(experiments.Scales(), " "))
 	seed := flag.Uint64("seed", 1, "base random seed")
@@ -61,10 +78,42 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress messages")
 	trace := flag.String("trace", "", "churn trace (CSV/JSONL) for -exp replay / ablation-estimator")
 	strategy := flag.String("strategy", "", "partner-selection strategy spec, e.g. age:L=2160, estimator:pareto, monitored-availability:720 (default: the paper's age strategy)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole campaign to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit (go tool pprof)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p2psim: -cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "p2psim: -cpuprofile:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p2psim: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "p2psim: -memprofile:", err)
+			}
+		}()
+	}
 
 	opts := experiments.Options{
 		Scale:        experiments.Scale(*scale),
@@ -87,7 +136,7 @@ func main() {
 		} else {
 			fmt.Fprintln(os.Stderr, "p2psim:", err)
 		}
-		os.Exit(1)
+		return 1
 	}
 	for _, s := range sums {
 		fmt.Printf("== %s ==\n%s", s.Name, s.Text)
@@ -97,4 +146,5 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	return 0
 }

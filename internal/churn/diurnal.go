@@ -15,6 +15,14 @@ import (
 // through SessionLengthAt; plain models are called through
 // SessionLength exactly as before, so adding this interface changed no
 // existing trajectory.
+//
+// The event-driven engine still draws at flip time: a session length
+// is sampled in the round the session actually starts (the slot's
+// toggle wakes it through the calendar queue), never precomputed when
+// the previous session began. The round passed here is therefore
+// always the session's true starting round, and the draw order across
+// peers is the ascending-slot order of the round's due toggles — the
+// same order the historical scan engine produced.
 type TimeAware interface {
 	// SessionLengthAt draws the next session length for a session
 	// starting at the given round.

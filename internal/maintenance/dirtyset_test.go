@@ -1,0 +1,114 @@
+package maintenance
+
+import (
+	"testing"
+
+	"p2pbackup/internal/overlay"
+)
+
+func TestDirtySetLifecycle(t *testing.T) {
+	m, led, _, r := harness(t, 30, testParams())
+
+	// Every slot starts armed: all peers owe an initial upload.
+	for id := overlay.PeerID(0); id < 30; id++ {
+		if !m.Armed(id) {
+			t.Fatalf("fresh slot %d not armed", id)
+		}
+	}
+
+	// Complete peer 0's initial upload, then disarm it the way the
+	// engine does (visit finds WantsStep false).
+	id := overlay.PeerID(0)
+	for i := 0; i < 100 && !m.Included(id); i++ {
+		m.Step(r, id)
+	}
+	if !m.Included(id) {
+		t.Fatal("initial upload did not complete")
+	}
+	if !m.WantsStep(id) {
+		m.Disarm(id)
+	}
+	if m.Armed(id) {
+		t.Fatal("healthy included peer should disarm")
+	}
+
+	// Knock hosts offline until the visible count crosses the repair
+	// threshold: the ledger watcher must re-arm the owner with no poll.
+	wakes := 0
+	m.SetWake(func(overlay.PeerID) { wakes++ })
+	hosts := led.Hosts(id, nil)
+	for _, h := range hosts {
+		if led.Visible(id) < m.Params().RepairThreshold {
+			break
+		}
+		led.SetOnline(h, false)
+	}
+	if !m.Armed(id) {
+		t.Fatal("threshold crossing did not arm the owner")
+	}
+	if wakes == 0 {
+		t.Fatal("arming did not fire the wake hook")
+	}
+	if !m.WantsStep(id) {
+		t.Fatal("armed peer below threshold must want a step")
+	}
+}
+
+func TestAliveCrossingFlagsLossCheck(t *testing.T) {
+	m, led, tab, r := harness(t, 30, testParams())
+	id := overlay.PeerID(0)
+	for i := 0; i < 100 && !m.Included(id); i++ {
+		m.Step(r, id)
+	}
+	if !m.Included(id) {
+		t.Fatal("initial upload did not complete")
+	}
+	if m.TakeLossCheck(id) {
+		t.Fatal("no loss check should be pending on a full archive")
+	}
+
+	// Kill hosts until fewer than k blocks survive: the alive crossing
+	// must flag exactly one pending loss check.
+	hosts := led.Hosts(id, nil)
+	for _, h := range hosts[:len(hosts)-m.Params().DataBlocks+1] {
+		led.RemoveHost(h)
+		tab.Bump(h)
+	}
+	if !m.LostArchive(id) {
+		t.Fatalf("archive should be lost: alive=%d k=%d", led.Alive(id), m.Params().DataBlocks)
+	}
+	if !m.TakeLossCheck(id) {
+		t.Fatal("alive crossing did not flag a loss check")
+	}
+	if m.TakeLossCheck(id) {
+		t.Fatal("TakeLossCheck must consume the flag")
+	}
+
+	// ResetArchive clears the episode and re-arms for the re-upload.
+	m.Disarm(id)
+	m.ResetArchive(id)
+	if !m.Armed(id) {
+		t.Fatal("ResetArchive must arm the slot")
+	}
+	if m.Included(id) || m.TakeLossCheck(id) {
+		t.Fatal("ResetArchive must clear inclusion and any pending loss check")
+	}
+}
+
+func TestResetArmsReplacementOccupant(t *testing.T) {
+	m, led, _, r := harness(t, 30, testParams())
+	id := overlay.PeerID(3)
+	for i := 0; i < 100 && !m.Included(id); i++ {
+		m.Step(r, id)
+	}
+	m.Disarm(id)
+	// Death: ledger cleanup then slot reset, as the engine does it.
+	led.RemovePeer(id)
+	m.Reset(id)
+	if !m.Armed(id) {
+		t.Fatal("Reset must arm the fresh occupant")
+	}
+	if m.Included(id) {
+		t.Fatal("Reset must clear inclusion")
+	}
+}

@@ -190,6 +190,8 @@ type peerState struct {
 	included  bool
 	unmetered bool
 	outage    bool // inside a decode outage (visible < k observed)
+	armed     bool // member of the active (dirty) set
+	lossCheck bool // pending archive-loss check (alive crossed below k)
 	st        state
 	waited    int // owner-online rounds spent in Triggered (RepairDelay)
 	uploaded  int // blocks placed in the current episode
@@ -199,6 +201,18 @@ type peerState struct {
 }
 
 // Maintainer runs the maintenance protocol for every slot.
+//
+// The Maintainer keeps an incrementally maintained "active set": the
+// slots that may have maintenance work (initial upload pending, a
+// repair episode in flight, or visible blocks below the repair
+// threshold). It registers itself as the ledger's Watcher, so a peer
+// whose visible count crosses below the threshold — or whose archive
+// enters loss territory — is armed (or flagged for a loss check) at
+// the moment the crossing happens, with no per-round polling. The
+// engine drives the set through Armed/Disarm/TakeLossCheck and learns
+// about new members through the SetWake hook; WantsStep remains as the
+// authoritative per-peer predicate the engine re-checks on every visit
+// (and tests poll directly).
 type Maintainer struct {
 	params Params
 	led    *overlay.Ledger
@@ -206,12 +220,17 @@ type Maintainer struct {
 	pol    selection.Policy
 	env    Env
 	peers  []peerState
+	wake   func(overlay.PeerID)
 }
 
 // New returns a Maintainer over the ledger's slots. It panics on
 // invalid params (programmer error; validate user input with
 // Params.Validate first). Legacy selection.Strategy values are lifted
 // with selection.Adapt before being passed here.
+//
+// New registers the Maintainer as the ledger's Watcher (thresholds:
+// RepairThreshold for visibility, DataBlocks for archive loss) and
+// arms every slot: all peers start with an initial upload pending.
 func New(params Params, led *overlay.Ledger, tab *overlay.Table, pol selection.Policy, env Env) *Maintainer {
 	if err := params.Validate(); err != nil {
 		panic(err)
@@ -219,7 +238,7 @@ func New(params Params, led *overlay.Ledger, tab *overlay.Table, pol selection.P
 	if led.NumPeers() != tab.Len() {
 		panic("maintenance: ledger and table sizes differ")
 	}
-	return &Maintainer{
+	m := &Maintainer{
 		params: params,
 		led:    led,
 		tab:    tab,
@@ -227,6 +246,66 @@ func New(params Params, led *overlay.Ledger, tab *overlay.Table, pol selection.P
 		env:    env,
 		peers:  make([]peerState, led.NumPeers()),
 	}
+	for i := range m.peers {
+		m.peers[i].armed = true
+	}
+	led.Watch(m, int32(params.RepairThreshold), int32(params.DataBlocks))
+	return m
+}
+
+// SetWake installs the hook called whenever a slot is armed or flagged
+// for a loss check. The engine uses it to schedule a visit to the slot;
+// a nil hook (the default) leaves the flags purely pull-based, which is
+// what unit tests use.
+func (m *Maintainer) SetWake(f func(overlay.PeerID)) { m.wake = f }
+
+// VisibleBelow implements overlay.Watcher: a peer whose visible blocks
+// crossed below the repair threshold has maintenance work.
+func (m *Maintainer) VisibleBelow(owner overlay.PeerID) { m.Arm(owner) }
+
+// AliveBelow implements overlay.Watcher: a peer whose alive blocks
+// crossed below k needs an archive-loss check. Only included peers can
+// lose an archive; crossings on slots mid-upload are ignored.
+func (m *Maintainer) AliveBelow(owner overlay.PeerID) {
+	p := &m.peers[owner]
+	if !p.included || p.lossCheck {
+		return
+	}
+	p.lossCheck = true
+	if m.wake != nil {
+		m.wake(owner)
+	}
+}
+
+// Arm adds a slot to the active set and wakes the engine. Arming an
+// already-armed slot is a no-op.
+func (m *Maintainer) Arm(id overlay.PeerID) {
+	p := &m.peers[id]
+	if p.armed {
+		return
+	}
+	p.armed = true
+	if m.wake != nil {
+		m.wake(id)
+	}
+}
+
+// Armed reports whether the slot is in the active set.
+func (m *Maintainer) Armed(id overlay.PeerID) bool { return m.peers[id].armed }
+
+// Disarm removes a slot from the active set. The engine calls it when a
+// visit finds WantsStep false; the slot re-arms on the next threshold
+// crossing (or Reset/ResetArchive).
+func (m *Maintainer) Disarm(id overlay.PeerID) { m.peers[id].armed = false }
+
+// TakeLossCheck consumes the slot's pending loss-check flag, reporting
+// whether one was set. The flag is a candidate marker, not a verdict:
+// the caller must still confirm with LostArchive.
+func (m *Maintainer) TakeLossCheck(id overlay.PeerID) bool {
+	p := &m.peers[id]
+	was := p.lossCheck
+	p.lossCheck = false
+	return was
 }
 
 // Params returns the protocol parameters.
@@ -252,11 +331,13 @@ func (m *Maintainer) Reset(id overlay.PeerID) {
 	p := &m.peers[id]
 	p.included = false
 	p.outage = false
+	p.lossCheck = false // any pending check belonged to the old occupant
 	p.st = stateIdle
 	p.uploaded = 0
 	p.dropped = 0
 	p.pool = nil
 	p.inPool = nil
+	m.Arm(id) // the fresh occupant has an initial upload pending
 }
 
 // LostArchive reports whether an included peer's archive has become
@@ -273,16 +354,21 @@ func (m *Maintainer) ResetArchive(id overlay.PeerID) {
 	p := &m.peers[id]
 	p.included = false
 	p.outage = false
+	p.lossCheck = false
 	p.st = stateIdle
 	p.waited = 0
 	p.uploaded = 0
 	p.dropped = 0
 	p.pool = p.pool[:0]
 	clear(p.inPool)
+	m.Arm(id) // the re-encoded archive needs a full upload
 }
 
 // WantsStep reports whether the peer has maintenance work this round
-// (assuming its owner is online; the engine checks that).
+// (assuming its owner is online; the engine checks that). It is the
+// authoritative per-peer predicate: the engine re-checks it on every
+// visit to an armed slot (the active set is a superset of the peers
+// that truly want work), and tests poll it directly.
 func (m *Maintainer) WantsStep(id overlay.PeerID) bool {
 	p := &m.peers[id]
 	if !p.included || p.st != stateIdle {

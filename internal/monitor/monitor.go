@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sort"
 )
 
 // ErrOutOfOrder reports a record at a round earlier than already seen.
@@ -164,6 +165,12 @@ func NewIntervalHistory(window int64) *IntervalHistory {
 // RecordTransition notes that the peer's state changed to online at the
 // given round (i.e. it is online from this round onward until the next
 // transition). The first call establishes the initial state.
+//
+// Recording prunes eagerly: transitions that ended before the window
+// preceding the recorded round are discarded as they expire, so memory
+// stays bounded by the window even for histories that are written every
+// session but rarely (or never) queried — the regime of a 50k-round
+// simulation where most peers are never candidates.
 func (h *IntervalHistory) RecordTransition(round int64, online bool) error {
 	if h.began {
 		last := h.trans[len(h.trans)-1]
@@ -183,11 +190,14 @@ func (h *IntervalHistory) RecordTransition(round int64, online bool) error {
 		h.start = round
 	}
 	h.trans = append(h.trans, transition{round: round, online: online})
+	h.prune(round)
 	return nil
 }
 
 // prune discards transitions that end before now-window, keeping the
-// one that defines the state at the window start.
+// one that defines the state at the window start. Pruning only ever
+// drops information that no in-window query can see, so eager and lazy
+// pruning answer Uptime identically.
 func (h *IntervalHistory) prune(now int64) {
 	cutoff := now - h.window
 	keep := 0
@@ -195,6 +205,9 @@ func (h *IntervalHistory) prune(now int64) {
 		keep++
 	}
 	if keep > 0 {
+		// Reslice forward: O(1) per pruned transition. append reallocates
+		// with live elements only once the tail capacity runs out, so the
+		// abandoned prefix is reclaimed and memory stays O(live).
 		h.trans = h.trans[keep:]
 	}
 }
@@ -250,22 +263,21 @@ func (h *IntervalHistory) Uptime(now int64, n int64) float64 {
 	return float64(online) / float64(now-from)
 }
 
-// OnlineAt reports the state at a given round, if observed.
+// OnlineAt reports the state at a given round, if observed. Rounds
+// older than the pruning window of the latest recorded transition are
+// unknown. Cost: O(log transitions).
 func (h *IntervalHistory) OnlineAt(round int64) (online, known bool) {
 	if !h.began || round < h.start {
 		return false, false
 	}
-	state := false
-	found := false
-	for _, tr := range h.trans {
-		if tr.round <= round {
-			state = tr.online
-			found = true
-		} else {
-			break
-		}
+	// Binary search for the last transition at or before round.
+	idx := sort.Search(len(h.trans), func(i int) bool {
+		return h.trans[i].round > round
+	})
+	if idx == 0 {
+		return false, false // all stored transitions are later (or pruned)
 	}
-	return state, found
+	return h.trans[idx-1].online, true
 }
 
 // Transitions returns the number of stored transitions (after pruning

@@ -278,3 +278,118 @@ func TestIntervalHistoryReset(t *testing.T) {
 		t.Fatalf("Uptime after reuse = %v, want 1", got)
 	}
 }
+
+// TestIntervalHistoryEagerPruneBounded: recording alone must keep the
+// transition list bounded by the window — a never-queried slot in a
+// 50k-round run must not grow without limit (pruning used to happen
+// only inside Uptime).
+func TestIntervalHistoryEagerPruneBounded(t *testing.T) {
+	const window = 48
+	h := NewIntervalHistory(window)
+	online := true
+	for round := int64(0); round < 50_000; round++ {
+		if err := h.RecordTransition(round, online); err != nil {
+			t.Fatal(err)
+		}
+		online = !online
+		// One transition per round: the in-window count can never
+		// exceed window+1 (one defining the window-start state plus one
+		// per round inside it).
+		if n := h.Transitions(); n > window+1 {
+			t.Fatalf("round %d: %d transitions stored, want <= %d", round, n, window+1)
+		}
+	}
+	if n := h.Transitions(); n > window+1 {
+		t.Fatalf("final transition count %d, want <= %d", n, window+1)
+	}
+}
+
+// TestIntervalHistoryOnlineAtBinarySearch pins OnlineAt behaviour on a
+// known schedule, including the unknown cases the search must preserve
+// (before first observation, pruned-away past).
+func TestIntervalHistoryOnlineAtBinarySearch(t *testing.T) {
+	h := NewIntervalHistory(1000)
+	sched := []struct {
+		round  int64
+		online bool
+	}{{10, true}, {25, false}, {60, true}, {100, false}}
+	for _, s := range sched {
+		if err := h.RecordTransition(s.round, s.online); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		round  int64
+		online bool
+		known  bool
+	}{
+		{9, false, false}, // before first observation
+		{10, true, true},
+		{24, true, true},
+		{25, false, true},
+		{59, false, true},
+		{60, true, true},
+		{99, true, true},
+		{100, false, true},
+		{5000, false, true}, // state persists past the last transition
+	}
+	for _, c := range cases {
+		online, known := h.OnlineAt(c.round)
+		if online != c.online || known != c.known {
+			t.Errorf("OnlineAt(%d) = (%v,%v), want (%v,%v)", c.round, online, known, c.online, c.known)
+		}
+	}
+}
+
+// TestHistoriesAgreeAfterReset drives both representations through a
+// random schedule, resets them mid-schedule (the engine does this when
+// a monitored identity is replaced), re-seeds them with a fresh
+// schedule, and checks the windowed uptimes still agree: Reset must
+// leave no residue in either representation.
+func TestHistoriesAgreeAfterReset(t *testing.T) {
+	r := rng.New(97)
+	const window = 64
+	for trial := 0; trial < 20; trial++ {
+		bit := NewBitHistory(window)
+		iv := NewIntervalHistory(window)
+		online := r.Bool(0.5)
+		_ = iv.RecordTransition(0, online)
+		preTotal := int64(100 + r.Intn(200))
+		for round := int64(0); round < preTotal; round++ {
+			if r.Bool(0.15) {
+				online = !online
+				_ = iv.RecordTransition(round, online)
+			}
+			if err := bit.Record(round, online); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Mid-schedule replacement: both histories restart. The bit
+		// history has no Reset; a fresh instance is its reset, which is
+		// exactly what the equivalence must survive.
+		iv.Reset()
+		bit = NewBitHistory(window)
+
+		start := preTotal + int64(r.Intn(50)) // the replacement joins later
+		online = r.Bool(0.5)
+		_ = iv.RecordTransition(start, online)
+		total := start + int64(100+r.Intn(200))
+		for round := start; round < total; round++ {
+			if r.Bool(0.15) {
+				online = !online
+				_ = iv.RecordTransition(round, online)
+			}
+			if err := bit.Record(round, online); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, n := range []int64{1, 7, 23, 40, window} {
+			got := iv.Uptime(total, n)
+			want := bit.Uptime(int(n))
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d window %d: interval=%v bit=%v", trial, n, got, want)
+			}
+		}
+	}
+}

@@ -60,6 +60,26 @@ type hostEntry struct {
 	ownerIdx int32
 }
 
+// Watcher receives threshold-crossing notifications from the ledger's
+// incremental counters. The ledger calls it synchronously from inside
+// SetOnline, RemoveHost, RemovePeer, DropOwner and DropPlacementAt, at
+// the exact moment a counter crosses below its configured threshold —
+// this is what lets the maintenance layer keep an incrementally
+// maintained set of peers with pending work instead of polling every
+// peer every round. Callbacks must not mutate the ledger (the
+// notifying operation is still in flight) and must be cheap: one fires
+// per crossing, on the simulation hot path.
+type Watcher interface {
+	// VisibleBelow fires when owner's visible-block count crosses from
+	// >= the visible threshold to below it (the repair trigger of the
+	// paper's section 2.2.3).
+	VisibleBelow(owner PeerID)
+	// AliveBelow fires when owner's alive-block count crosses from >=
+	// the alive threshold to below it (archive-loss territory: fewer
+	// than k blocks survive on living hosts).
+	AliveBelow(owner PeerID)
+}
+
 // Ledger tracks all block placements. It is not safe for concurrent
 // use; each simulation run owns one Ledger.
 type Ledger struct {
@@ -70,6 +90,10 @@ type Ledger struct {
 	online  []bool        // per host: current session state
 	quota   int32
 	strict  bool
+
+	watcher  Watcher
+	visThr   int32 // VisibleBelow fires on crossings below this
+	aliveThr int32 // AliveBelow fires on crossings below this
 }
 
 // NewLedger returns a ledger for n peer slots with the given per-host
@@ -97,6 +121,33 @@ func NewLedger(n int, quota int32) *Ledger {
 // it; production runs rely on the maintenance layer's candidate
 // filtering instead.
 func (l *Ledger) SetStrict(strict bool) { l.strict = strict }
+
+// Watch registers the threshold-crossing watcher: VisibleBelow fires
+// when an owner's visible count crosses below visibleThr, AliveBelow
+// when its alive count crosses below aliveThr. Crossings are edge-
+// triggered per decrement (each >=thr -> <thr transition fires exactly
+// once); increments never fire. A nil watcher disables notifications.
+func (l *Ledger) Watch(w Watcher, visibleThr, aliveThr int32) {
+	l.watcher = w
+	l.visThr = visibleThr
+	l.aliveThr = aliveThr
+}
+
+// noteVisibleDec fires the watcher after owner's visible counter was
+// decremented, if the decrement crossed the threshold.
+func (l *Ledger) noteVisibleDec(owner PeerID) {
+	if l.watcher != nil && l.visible[owner] == l.visThr-1 {
+		l.watcher.VisibleBelow(owner)
+	}
+}
+
+// noteAliveDec fires the watcher after owner's alive count (its forward
+// degree) was decremented, if the decrement crossed the threshold.
+func (l *Ledger) noteAliveDec(owner PeerID) {
+	if l.watcher != nil && int32(len(l.fwd[owner])) == l.aliveThr-1 {
+		l.watcher.AliveBelow(owner)
+	}
+}
 
 // NumPeers returns the number of peer slots.
 func (l *Ledger) NumPeers() int { return len(l.fwd) }
@@ -209,8 +260,10 @@ func (l *Ledger) DropPlacementAt(owner PeerID, idx int) error {
 	if !p.unmetered {
 		l.metered[p.host]--
 	}
+	l.noteAliveDec(owner)
 	if l.online[p.host] {
 		l.visible[owner]--
+		l.noteVisibleDec(owner)
 	}
 	return nil
 }
@@ -225,12 +278,15 @@ func (l *Ledger) SetOnline(host PeerID, online bool) {
 		return
 	}
 	l.online[host] = online
-	delta := int32(1)
-	if !online {
-		delta = -1
+	if online {
+		for _, e := range l.rev[host] {
+			l.visible[e.owner]++
+		}
+		return
 	}
 	for _, e := range l.rev[host] {
-		l.visible[e.owner] += delta
+		l.visible[e.owner]--
+		l.noteVisibleDec(e.owner)
 	}
 }
 
@@ -252,8 +308,10 @@ func (l *Ledger) RemoveHost(host PeerID) {
 	wasOnline := l.online[host]
 	for _, e := range l.rev[host] {
 		l.removeFwdAt(e.owner, e.ownerIdx)
+		l.noteAliveDec(e.owner)
 		if wasOnline {
 			l.visible[e.owner]--
+			l.noteVisibleDec(e.owner)
 		}
 	}
 	l.rev[host] = l.rev[host][:0]
@@ -266,6 +324,8 @@ func (l *Ledger) DropOwner(owner PeerID) {
 	if l.check(owner) != nil {
 		return
 	}
+	crossAlive := l.watcher != nil && l.aliveThr > 0 && int32(len(l.fwd[owner])) >= l.aliveThr
+	crossVis := l.watcher != nil && l.visThr > 0 && l.visible[owner] >= l.visThr
 	for _, p := range l.fwd[owner] {
 		l.removeRevAt(p.host, p.hostIdx)
 		if !p.unmetered {
@@ -274,6 +334,12 @@ func (l *Ledger) DropOwner(owner PeerID) {
 	}
 	l.fwd[owner] = l.fwd[owner][:0]
 	l.visible[owner] = 0
+	if crossAlive {
+		l.watcher.AliveBelow(owner)
+	}
+	if crossVis {
+		l.watcher.VisibleBelow(owner)
+	}
 }
 
 // RemovePeer handles a peer's death: its hosted blocks disappear and

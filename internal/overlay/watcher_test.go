@@ -1,0 +1,115 @@
+package overlay
+
+import "testing"
+
+// recWatcher records crossing notifications in order.
+type recWatcher struct {
+	visible []PeerID
+	alive   []PeerID
+}
+
+func (w *recWatcher) VisibleBelow(owner PeerID) { w.visible = append(w.visible, owner) }
+func (w *recWatcher) AliveBelow(owner PeerID)   { w.alive = append(w.alive, owner) }
+
+// buildFan places one block from owner 0 on each of hosts 1..n.
+func buildFan(t *testing.T, n int) *Ledger {
+	t.Helper()
+	l := NewLedger(n+1, 8)
+	for h := 1; h <= n; h++ {
+		if err := l.Place(0, PeerID(h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestWatcherVisibleCrossingOnSetOnline(t *testing.T) {
+	l := buildFan(t, 5) // owner 0: visible 5
+	w := &recWatcher{}
+	l.Watch(w, 4, 2) // visible threshold 4, alive threshold 2
+
+	l.SetOnline(1, false) // visible 4: no crossing (>= 4)
+	if len(w.visible) != 0 {
+		t.Fatalf("crossing fired at visible=4: %v", w.visible)
+	}
+	l.SetOnline(2, false) // visible 3: crossed below 4
+	if len(w.visible) != 1 || w.visible[0] != 0 {
+		t.Fatalf("visible crossing = %v, want [0]", w.visible)
+	}
+	l.SetOnline(3, false) // visible 2: already below, edge-triggered once
+	if len(w.visible) != 1 {
+		t.Fatalf("below-to-below decrement fired: %v", w.visible)
+	}
+	// Recovery then a fresh crossing fires again.
+	l.SetOnline(2, true)
+	l.SetOnline(3, true) // visible 4
+	l.SetOnline(2, false)
+	if len(w.visible) != 2 {
+		t.Fatalf("re-crossing did not fire: %v", w.visible)
+	}
+	if len(w.alive) != 0 {
+		t.Fatalf("session flips must not touch alive: %v", w.alive)
+	}
+}
+
+func TestWatcherAliveCrossingOnRemoveHost(t *testing.T) {
+	l := buildFan(t, 3) // alive 3
+	w := &recWatcher{}
+	l.Watch(w, 1, 3) // alive threshold 3
+
+	l.RemoveHost(2) // alive 2: crossed below 3
+	if len(w.alive) != 1 || w.alive[0] != 0 {
+		t.Fatalf("alive crossing = %v, want [0]", w.alive)
+	}
+	l.RemoveHost(3) // alive 1: below-to-below
+	if len(w.alive) != 1 {
+		t.Fatalf("below-to-below host removal fired: %v", w.alive)
+	}
+}
+
+func TestWatcherCrossingsOnDropOwnerAndDropPlacement(t *testing.T) {
+	l := buildFan(t, 4)
+	w := &recWatcher{}
+	l.Watch(w, 3, 3)
+
+	if err := l.DropPlacementAt(0, 0); err != nil { // alive 3, visible 3: no crossings
+		t.Fatal(err)
+	}
+	if len(w.visible) != 0 || len(w.alive) != 0 {
+		t.Fatalf("unexpected crossings: vis=%v alive=%v", w.visible, w.alive)
+	}
+	if err := l.DropPlacementAt(0, 0); err != nil { // alive 2, visible 2: both cross
+		t.Fatal(err)
+	}
+	if len(w.visible) != 1 || len(w.alive) != 1 {
+		t.Fatalf("drop crossings: vis=%v alive=%v, want one each", w.visible, w.alive)
+	}
+
+	// Bulk owner drop from above both thresholds fires each once.
+	l2 := buildFan(t, 4)
+	w2 := &recWatcher{}
+	l2.Watch(w2, 3, 2)
+	l2.DropOwner(0)
+	if len(w2.visible) != 1 || w2.visible[0] != 0 {
+		t.Fatalf("DropOwner visible crossings = %v, want [0]", w2.visible)
+	}
+	if len(w2.alive) != 1 || w2.alive[0] != 0 {
+		t.Fatalf("DropOwner alive crossings = %v, want [0]", w2.alive)
+	}
+	// A second drop (already at zero) fires nothing.
+	l2.DropOwner(0)
+	if len(w2.visible) != 1 || len(w2.alive) != 1 {
+		t.Fatalf("empty DropOwner fired: vis=%v alive=%v", w2.visible, w2.alive)
+	}
+}
+
+func TestWatcherNilAndUnwatched(t *testing.T) {
+	// No watcher: all paths must stay silent (and not panic).
+	l := buildFan(t, 3)
+	l.SetOnline(1, false)
+	l.RemoveHost(2)
+	l.DropOwner(0)
+	if err := l.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -111,6 +111,7 @@ func (s *Simulation) stepShocks(round int64) {
 					continue // already departing this round
 				}
 				p.death = round // replaced by the churn phase below
+				s.scheduleEarlier(overlay.PeerID(id), round)
 				victims++
 				continue
 			}
@@ -119,6 +120,10 @@ func (s *Simulation) stepShocks(round int64) {
 			}
 			s.setOnline(round, overlay.PeerID(id), p, false)
 			p.toggle = addClamped(round, sp.Outage)
+			// The outage usually pushes the toggle later than the wake
+			// already scheduled; the stale wake resolves as a spurious
+			// visit. Only an earlier toggle needs a new calendar entry.
+			s.scheduleEarlier(overlay.PeerID(id), p.toggle)
 			victims++
 		}
 		ev := ShockEvent{Round: round, Index: i, Name: sp.Name, Victims: victims, Killed: sp.Kill}
@@ -247,6 +252,7 @@ func (s *Simulation) applyReplay(round int64) {
 			p.cat = metrics.Newcomer
 			s.catPop[metrics.Newcomer]++
 			p.catChange = addClamped(round, metrics.CategoryBound(metrics.Newcomer))
+			s.scheduleEarlier(id, p.catChange)
 			p.death = rp.death[idx]
 			p.toggle = never // sessions come from the trace
 			p.online = false

@@ -1,0 +1,136 @@
+package sim
+
+// Event scheduling for the engine's event-driven core.
+//
+// Two structures drive a round:
+//
+//   - calendar: a bucket queue over future rounds holding each slot's
+//     next timed event (death, category change, session toggle, all
+//     folded into one wake time per slot). Pushing is O(1); draining a
+//     round costs O(entries in the round's bucket). Entries are lazily
+//     invalidated: the per-slot sched[] array is the source of truth
+//     for when a slot really wakes, and entries that no longer match
+//     it are dropped on drain. A slot woken early (its timer moved
+//     later after the entry was pushed) simply finds nothing due and
+//     reschedules — spurious wakes consume no randomness and emit no
+//     events, so they can never perturb a trajectory.
+//
+//   - visitQueue: a binary min-heap of slot ids with O(1) membership
+//     dedupe, ordering the round's walk. The engine keeps two (current
+//     round and next round) and swaps them each round. Popping in
+//     ascending slot order is what preserves the historical scan
+//     engine's rng draw order: due events drain in ascending slot id
+//     within a round, exactly as the full-population loop visited
+//     them.
+
+// calBuckets is the calendar width in rounds: events within this
+// horizon land directly in their round's bucket; events further out
+// stay in the bucket (their round modulo the width) and are skipped on
+// intermediate drains, costing one touch per cycle. 8192 rounds (~11
+// months) covers typical session and category timers; only long
+// lifetimes ever wrap.
+const calBuckets = 1 << 13
+
+// calEntry is one scheduled wake: a slot and the round it is due.
+type calEntry struct {
+	slot  int32
+	round int64
+}
+
+// calendar is the bucket queue. The zero value is unusable; use
+// newCalendar.
+type calendar struct {
+	buckets [][]calEntry
+}
+
+func newCalendar() *calendar {
+	return &calendar{buckets: make([][]calEntry, calBuckets)}
+}
+
+// push schedules a wake for slot at round. Stale entries for the same
+// slot are tolerated (drain drops them via the sched check).
+func (c *calendar) push(slot int32, round int64) {
+	b := round & (calBuckets - 1)
+	c.buckets[b] = append(c.buckets[b], calEntry{slot: slot, round: round})
+}
+
+// drain appends to out the slots genuinely due at round (entry round
+// matches and the slot's authoritative wake time sched[slot] agrees),
+// keeps future entries that share the bucket, and drops stale ones.
+func (c *calendar) drain(round int64, sched []int64, out []int32) []int32 {
+	b := round & (calBuckets - 1)
+	bucket := c.buckets[b]
+	keep := bucket[:0]
+	for _, e := range bucket {
+		if e.round != round {
+			if e.round > round {
+				keep = append(keep, e)
+			}
+			continue // past-round entries are stale leftovers
+		}
+		if sched[e.slot] == round {
+			out = append(out, e.slot)
+		}
+	}
+	c.buckets[b] = keep
+	return out
+}
+
+// visitQueue is a binary min-heap of slot ids with a membership bitmap
+// so each slot is queued at most once per round.
+type visitQueue struct {
+	q  []int32
+	in []bool
+}
+
+func newVisitQueue(n int) *visitQueue {
+	return &visitQueue{in: make([]bool, n)}
+}
+
+// push enqueues a slot; re-pushing a queued slot is a no-op.
+func (v *visitQueue) push(id int32) {
+	if v.in[id] {
+		return
+	}
+	v.in[id] = true
+	v.q = append(v.q, id)
+	i := len(v.q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if v.q[p] <= v.q[i] {
+			break
+		}
+		v.q[p], v.q[i] = v.q[i], v.q[p]
+		i = p
+	}
+}
+
+// pop removes and returns the smallest queued slot id. The caller must
+// check empty first.
+func (v *visitQueue) pop() int32 {
+	id := v.q[0]
+	last := len(v.q) - 1
+	v.q[0] = v.q[last]
+	v.q = v.q[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && v.q[l] < v.q[small] {
+			small = l
+		}
+		if r < last && v.q[r] < v.q[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		v.q[i], v.q[small] = v.q[small], v.q[i]
+		i = small
+	}
+	v.in[id] = false
+	return id
+}
+
+// empty reports whether the queue has no pending visits.
+func (v *visitQueue) empty() bool { return len(v.q) == 0 }

@@ -1,14 +1,44 @@
-// Package sim is the round-based simulation engine, the PeerSim
+// Package sim is the event-driven simulation engine, the PeerSim
 // equivalent the paper's evaluation runs on.
 //
 // Semantics follow the paper's section 3.1: time advances in rounds of
 // one hour; within a round every peer may execute protocol code,
 // sequentially, in an order chosen randomly per round; departures are
 // replaced immediately and the departed peer's blocks disappear at
-// once. The engine keeps the per-round cost proportional to the number
-// of churn events (session flips, deaths) plus the number of peers with
-// active maintenance work, using the overlay ledger's incremental
-// counters rather than per-peer partner scans.
+// once.
+//
+// # The event-driven core
+//
+// The engine never scans the population. Each slot carries one
+// authoritative wake time — the earliest of its death, category-change
+// and session-toggle timers — held in a calendar bucket queue; a
+// round's walk visits, in ascending slot id, only the union of the
+// slots with due timers, the maintenance active set, and the slots
+// flagged for an archive-loss check. The active set is maintained
+// incrementally: the overlay ledger's Watcher notifications
+// (visible-below-threshold, alive-below-k crossings, emitted from its
+// existing incremental counters) arm slots in the Maintainer the
+// moment a crossing happens, and the engine disarms a slot when a
+// visit finds its work drained. Per-round cost is therefore
+// proportional to the number of events — session flips, deaths,
+// promotions, peers with active maintenance work — not to NumPeers: a
+// quiescent round costs tens of nanoseconds at any population size.
+//
+// # The rng-order invariant
+//
+// Reproducibility pins the engine to the draw order of the historical
+// full-population scan, and every engine change must preserve it: due
+// events drain in ascending slot id within a round; each visit runs
+// the per-slot body in scan order (death, else category promotion,
+// then toggle, then the loss check, then actor collection); a state
+// change caused at walk position j is observed by slot i's checks this
+// round iff i > j; and spurious wakes, stale loss flags and
+// armed-but-idle visits consume no randomness and emit no events. The
+// golden digests in determinism_test.go hold the engine to the scan
+// engine's event stream bit for bit under iid, diurnal, shock and
+// replay churn.
+//
+// # Measurement
 //
 // Measurement is decoupled from the engine through the Probe interface:
 // the engine emits every protocol event (churn, repairs, outages,
@@ -94,6 +124,23 @@ type Simulation struct {
 	// slots.
 	hist []*monitor.IntervalHistory
 
+	// Event-driven core: each population slot has one authoritative
+	// wake time (sched, the earliest of its death/category/toggle
+	// timers) tracked in the calendar bucket queue, and each round's
+	// walk visits — in ascending slot order — the union of the slots
+	// with due timers, the maintenance active set, and the slots
+	// flagged for an archive-loss check. walkPos is the slot currently
+	// being visited: a visit request at or before it lands in nextQ
+	// (the next round's walk), one beyond it in curQ, reproducing
+	// exactly what the historical full-population scan saw at each loop
+	// position.
+	cal     *calendar
+	sched   []int64 // per slot: next wake round (never = no timer)
+	curQ    *visitQueue
+	nextQ   *visitQueue
+	walkPos int32
+	due     []int32 // scratch: calendar drain output
+
 	actors []overlay.PeerID // scratch: peers acting this round
 }
 
@@ -113,6 +160,14 @@ func New(cfg Config) (*Simulation, error) {
 		peers:    make([]peer, cfg.NumPeers),
 		obsSpecs: cfg.Observers,
 		hist:     make([]*monitor.IntervalHistory, cfg.NumPeers),
+		cal:      newCalendar(),
+		sched:    make([]int64, cfg.NumPeers),
+		curQ:     newVisitQueue(cfg.NumPeers),
+		nextQ:    newVisitQueue(cfg.NumPeers),
+		walkPos:  math.MaxInt32,
+	}
+	for i := range s.sched {
+		s.sched[i] = never
 	}
 	for i := range s.hist {
 		s.hist[i] = monitor.NewIntervalHistory(cfg.AcceptHorizon)
@@ -140,6 +195,7 @@ func New(cfg Config) (*Simulation, error) {
 		CancelOnRecover:      cfg.CancelOnRecover,
 		RepairDelay:          cfg.RepairDelay,
 	}, s.led, s.tab, cfg.Policy, (*simEnv)(s))
+	s.maint.SetWake(s.requestVisit)
 
 	if cfg.Replay != nil {
 		// Replayed churn consumes no randomness: slots start dormant and
@@ -160,12 +216,82 @@ func New(cfg Config) (*Simulation, error) {
 		for id := range s.peers {
 			s.initPeer(overlay.PeerID(id), 0, -1)
 			s.catPop[metrics.Newcomer]++
+			s.scheduleEarlier(overlay.PeerID(id), s.nextWake(&s.peers[id]))
 		}
+	}
+	// Every slot starts armed (initial upload pending), so the first
+	// round's walk visits the whole population once; walkPos is past
+	// the end, so the requests land in the queue round 0 drains.
+	for id := 0; id < cfg.NumPeers; id++ {
+		s.requestVisit(overlay.PeerID(id))
 	}
 	for i := range s.obsSpecs {
 		s.maint.SetUnmetered(s.observerSlot(i), true)
 	}
 	return s, nil
+}
+
+// requestVisit asks the walk to visit a population slot: this round if
+// the walk has not yet passed it, next round otherwise. Observer slots
+// are ignored — they are polled in their own phase. This is also the
+// Maintainer's wake hook, so arming a slot (a ledger threshold
+// crossing, a death reset) schedules its visit automatically.
+func (s *Simulation) requestVisit(id overlay.PeerID) {
+	if int(id) >= s.cfg.NumPeers {
+		return
+	}
+	if int32(id) > s.walkPos {
+		s.curQ.push(int32(id))
+	} else {
+		s.nextQ.push(int32(id))
+	}
+}
+
+// scheduleEarlier tightens a slot's wake time: a no-op when the slot
+// already wakes at or before round. Timers that move later instead
+// leave a spurious early wake behind, which the visit resolves by
+// rescheduling — never by consuming randomness.
+func (s *Simulation) scheduleEarlier(id overlay.PeerID, round int64) {
+	if round >= s.sched[id] {
+		return
+	}
+	s.sched[id] = round
+	if round < s.cfg.Rounds {
+		s.cal.push(int32(id), round)
+	}
+}
+
+// nextWake returns the earliest of a slot's timers. In replay mode
+// deaths and sessions come from the trace, so only the category timer
+// counts. Any new per-slot timer must be folded in here — New and the
+// post-visit reschedule both derive wake times from this single place.
+func (s *Simulation) nextWake(p *peer) int64 {
+	if s.replay != nil {
+		return p.catChange
+	}
+	next := p.death
+	if p.catChange < next {
+		next = p.catChange
+	}
+	if p.toggle < next {
+		next = p.toggle
+	}
+	return next
+}
+
+// rescheduleAfterVisit recomputes a slot's wake time from its timers
+// after its due events were processed. Anything still (or again) due
+// is deferred to the next round, exactly as the scan engine's one
+// check per slot per round did.
+func (s *Simulation) rescheduleAfterVisit(id overlay.PeerID, round int64) {
+	next := s.nextWake(&s.peers[id])
+	if next <= round {
+		next = round + 1
+	}
+	s.sched[id] = next
+	if next < s.cfg.Rounds {
+		s.cal.push(int32(id), next)
+	}
 }
 
 // observerSlot maps observer index to its ledger slot.
@@ -337,11 +463,27 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 }
 
 // stepRound advances one round: shocks first, then churn events (from
-// the profile sampler or the replay script), then maintenance actions
-// in random order, then accounting.
+// the calendar queue or the replay script) interleaved with active-set
+// checks in ascending slot order, then maintenance actions in random
+// order, then accounting.
+//
+// The walk replaces the historical full-population scan. Invariant
+// (load-bearing for reproducibility): the rng draw order of the scan
+// is preserved exactly. Due timed events drain in ascending slot id
+// within a round; each visited slot runs the same per-slot body the
+// scan ran (death, else category change, then toggle, then the
+// archive-loss check, then actor collection); and a state change
+// caused by slot j is observed by slot i's checks this round iff
+// i > j — requestVisit's walkPos routing — exactly as the scan's
+// single left-to-right pass saw it. Slots with no due timer, no
+// pending loss check and no active maintenance work are never touched,
+// which is what makes a quiescent round O(events) instead of
+// O(NumPeers).
 func (s *Simulation) stepRound() {
 	round := s.round
 	s.actors = s.actors[:0]
+	s.curQ, s.nextQ = s.nextQ, s.curQ
+	s.walkPos = -1
 
 	// Phase 0: correlated-failure shocks, so this round's churn and
 	// maintenance already see the damage.
@@ -351,54 +493,20 @@ func (s *Simulation) stepRound() {
 
 	// Phase 1: churn events and actor collection. In replay mode the
 	// trace is the sole source of membership and session transitions;
-	// the per-peer loop below then only promotes categories and
-	// collects actors.
+	// the walk below then only promotes categories and collects actors.
 	if s.replay != nil {
 		s.applyReplay(round)
 	}
-	for i := range s.peers {
-		id := overlay.PeerID(i)
-		p := &s.peers[i]
-
-		if s.replay != nil {
-			if round >= p.catChange {
-				s.catPop[p.cat]--
-				p.cat++
-				s.catPop[p.cat]++
-				p.catChange = addClamped(p.join, metrics.CategoryBound(p.cat))
-			}
-		} else if round >= p.death {
-			s.replacePeer(id, p, round)
-		} else if round >= p.catChange {
-			s.catPop[p.cat]--
-			p.cat++
-			s.catPop[p.cat]++
-			p.catChange = addClamped(p.join, metrics.CategoryBound(p.cat))
-		}
-
-		if s.replay == nil && round >= p.toggle {
-			// The session draw must stay ahead of the churn emit so the
-			// rng stream matches the historical inline flip.
-			next := addClamped(round, churn.SessionLengthAt(s.cfg.Avail, s.r, p.avail, !p.online, round))
-			s.setOnline(round, id, p, !p.online)
-			p.toggle = next
-		}
-
-		// Permanent-loss detection is objective (the data is gone) and
-		// does not require the owner to be online. The outage that
-		// preceded it has been counted when the owner observed it.
-		if s.maint.LostArchive(id) {
-			s.maint.ResetArchive(id)
-			ev := s.peerEvent(round, id)
-			for _, pr := range s.probes {
-				pr.OnHardLoss(ev)
-			}
-		}
-
-		if p.online && s.maint.WantsStep(id) {
-			s.actors = append(s.actors, id)
-		}
+	s.due = s.cal.drain(round, s.sched, s.due[:0])
+	for _, slot := range s.due {
+		s.curQ.push(slot)
 	}
+	for !s.curQ.empty() {
+		id := s.curQ.pop()
+		s.walkPos = id
+		s.visitSlot(round, overlay.PeerID(id))
+	}
+	s.walkPos = math.MaxInt32
 
 	// Phase 2: maintenance in random order (the paper randomises peer
 	// execution order each round).
@@ -461,6 +569,72 @@ func (s *Simulation) stepRound() {
 	}
 }
 
+// visitSlot runs the per-slot round body for one walked slot: due
+// timed events first (mirroring the scan engine's body statement for
+// statement, so the rng stream is bit-identical), then the pending
+// archive-loss check, then active-set maintenance bookkeeping. A slot
+// woken spuriously (its timer moved later after scheduling) finds
+// nothing due, consumes no randomness, and is simply rescheduled.
+func (s *Simulation) visitSlot(round int64, id overlay.PeerID) {
+	p := &s.peers[id]
+	if s.sched[id] == round {
+		if s.replay != nil {
+			if round >= p.catChange {
+				s.promote(p)
+			}
+		} else {
+			if round >= p.death {
+				s.replacePeer(id, p, round)
+			} else if round >= p.catChange {
+				s.promote(p)
+			}
+			if round >= p.toggle {
+				// The session draw must stay ahead of the churn emit so
+				// the rng stream matches the historical inline flip.
+				next := addClamped(round, churn.SessionLengthAt(s.cfg.Avail, s.r, p.avail, !p.online, round))
+				s.setOnline(round, id, p, !p.online)
+				p.toggle = next
+			}
+		}
+		s.rescheduleAfterVisit(id, round)
+	}
+
+	// Permanent-loss detection is objective (the data is gone) and
+	// does not require the owner to be online. The outage that
+	// preceded it has been counted when the owner observed it. The
+	// flag is only a candidate marker set at the alive<k crossing;
+	// LostArchive is the verdict.
+	if s.maint.TakeLossCheck(id) && s.maint.LostArchive(id) {
+		s.maint.ResetArchive(id)
+		ev := s.peerEvent(round, id)
+		for _, pr := range s.probes {
+			pr.OnHardLoss(ev)
+		}
+	}
+
+	if s.maint.Armed(id) {
+		if !s.maint.WantsStep(id) {
+			s.maint.Disarm(id)
+		} else {
+			if p.online {
+				s.actors = append(s.actors, id)
+			}
+			// Armed slots are re-visited every round until their work
+			// drains, like the scan engine's per-round WantsStep poll —
+			// but only for the active set.
+			s.nextQ.push(int32(id))
+		}
+	}
+}
+
+// promote moves a peer up one age category.
+func (s *Simulation) promote(p *peer) {
+	s.catPop[p.cat]--
+	p.cat++
+	s.catPop[p.cat]++
+	p.catChange = addClamped(p.join, metrics.CategoryBound(p.cat))
+}
+
 // replacePeer handles a departure: blocks vanish, the slot is reused by
 // a fresh age-0 peer (the paper replaces departures immediately). The
 // replacement inherits the departed peer's profile so the population
@@ -483,6 +657,18 @@ func (s *Simulation) replacePeer(id overlay.PeerID, p *peer, round int64) {
 		profile = -1
 	}
 	s.initPeer(id, round, profile)
+}
+
+// StepRound advances the simulation by a single round, up to the
+// configured horizon (benchmarks and tests; Run/RunContext drive full
+// runs). It reports whether a round was executed.
+func (s *Simulation) StepRound() bool {
+	if s.round >= s.cfg.Rounds {
+		return false
+	}
+	s.stepRound()
+	s.round++
+	return true
 }
 
 // Round returns the current round (for tests).

@@ -1,0 +1,135 @@
+// Command benchjson runs the engine benchmarks and writes a JSON
+// performance snapshot, so the repository's perf trajectory is a
+// sequence of comparable machine-readable artifacts instead of ad-hoc
+// log excerpts.
+//
+// Usage:
+//
+//	go run ./tools/benchjson                       # BENCH_4.json, engine benches
+//	go run ./tools/benchjson -out snap.json -benchtime 500x
+//	go run ./tools/benchjson -bench 'BenchmarkSimRound|BenchmarkQuiescentRound'
+//
+// It shells out to `go test -bench` in the module root and parses the
+// standard benchmark output lines, so whatever the benchmarks measure
+// is exactly what lands in the snapshot.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	MBPerSec   float64 `json:"mb_per_s,omitempty"`
+}
+
+// Snapshot is the emitted perf artifact.
+type Snapshot struct {
+	Bench      string      `json:"bench"`
+	BenchTime  string      `json:"benchtime"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	NumCPU     int         `json:"num_cpu"`
+	Timestamp  string      `json:"timestamp"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_4.json", "output JSON file")
+	bench := flag.String("bench", "BenchmarkQuiescentRound|BenchmarkChurnRound|BenchmarkSimRound|BenchmarkLedgerSessionFlip|BenchmarkMaintainerStep",
+		"benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "200x", "go test -benchtime value (fixed counts keep snapshots comparable)")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, *pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: go test -bench failed:", err)
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		Bench:     *bench,
+		BenchTime: *benchtime,
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			snap.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		b, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines matched %q\n", *bench)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+}
+
+// parseBenchLine parses one standard result line:
+//
+//	BenchmarkQuiescentRound/peers=25000-8   2000   5267 ns/op [12.3 MB/s]
+func parseBenchLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Benchmark{}, false
+	}
+	iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(fields[2], 64)
+	if err1 != nil || err2 != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(fields); i++ {
+		if fields[i+1] == "MB/s" {
+			if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+				b.MBPerSec = v
+			}
+		}
+	}
+	return b, true
+}
