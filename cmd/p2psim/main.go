@@ -58,6 +58,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"p2pbackup/internal/experiments"
@@ -128,6 +129,15 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), msg)
 		}
 	}
+	// Tally simulated rounds off the typed event stream so the run can
+	// close with a throughput figure (a quick field check that the
+	// engine is performing as expected on this machine).
+	var simRounds atomic.Int64
+	opts.Events = func(ev experiments.Event) {
+		if ev.Kind == experiments.EventRow && ev.Row != nil {
+			simRounds.Add(ev.Row.Config.Rounds)
+		}
+	}
 	start := time.Now()
 	sums, err := experiments.RunCtx(ctx, *exp, opts)
 	if err != nil {
@@ -145,6 +155,12 @@ func run() int {
 		}
 		fmt.Println()
 	}
-	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	if rounds := simRounds.Load(); rounds > 0 && elapsed > 0 {
+		fmt.Fprintf(os.Stderr, "done in %v: %d simulated rounds, %.0f rounds/sec\n",
+			elapsed.Round(time.Millisecond), rounds, float64(rounds)/elapsed.Seconds())
+	} else {
+		fmt.Fprintf(os.Stderr, "done in %v\n", elapsed.Round(time.Millisecond))
+	}
 	return 0
 }

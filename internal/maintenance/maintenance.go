@@ -180,9 +180,13 @@ const (
 )
 
 // poolEntry is an accepted candidate waiting to receive a block.
+// placeable is a per-step scratch flag: stepUpload computes each
+// entry's eligibility once per step, so the per-placement max-score
+// scans are pure slice walks.
 type poolEntry struct {
-	ref   overlay.Ref
-	score float64
+	ref       overlay.Ref
+	score     float64
+	placeable bool
 }
 
 // peerState is the per-slot maintenance state.
@@ -221,6 +225,25 @@ type Maintainer struct {
 	env    Env
 	peers  []peerState
 	wake   func(overlay.PeerID)
+
+	// Partner-mark epochs: refreshPool stamps the acting owner's
+	// current partners into a per-slot epoch array, turning the former
+	// O(owner degree) Ledger.HasPlacement scan — the dominant cost of a
+	// churn round — into one array compare per check. A fresh epoch per
+	// refreshPool call invalidates all previous marks at once; place
+	// refreshes the mark when a block lands so the same step's later
+	// eligibility checks see the new partner. The marks track partners
+	// only — pool membership is deduplicated by each slot's inPool map.
+	markEpoch   uint64
+	partnerMark []uint64
+	hostBuf     []overlay.PeerID // scratch for Ledger.Hosts
+
+	// Score memo, enabled by the engine (EnableScoreCache): pure policy
+	// scores are cached per (slot, round) so a candidate probed by many
+	// repairing peers in one round is scored once. The engine
+	// invalidates a slot on session flips and occupant replacement.
+	scoreVal []float64
+	scoreKey []int64 // round+1 of the cached value; 0 = invalid
 }
 
 // New returns a Maintainer over the ledger's slots. It panics on
@@ -239,12 +262,13 @@ func New(params Params, led *overlay.Ledger, tab *overlay.Table, pol selection.P
 		panic("maintenance: ledger and table sizes differ")
 	}
 	m := &Maintainer{
-		params: params,
-		led:    led,
-		tab:    tab,
-		pol:    pol,
-		env:    env,
-		peers:  make([]peerState, led.NumPeers()),
+		params:      params,
+		led:         led,
+		tab:         tab,
+		pol:         pol,
+		env:         env,
+		peers:       make([]peerState, led.NumPeers()),
+		partnerMark: make([]uint64, led.NumPeers()),
 	}
 	for i := range m.peers {
 		m.peers[i].armed = true
@@ -258,6 +282,46 @@ func New(params Params, led *overlay.Ledger, tab *overlay.Table, pol selection.P
 // a nil hook (the default) leaves the flags purely pull-based, which is
 // what unit tests use.
 func (m *Maintainer) SetWake(f func(overlay.PeerID)) { m.wake = f }
+
+// EnableScoreCache turns on the per-(slot, round) score memo. It is a
+// no-op unless the policy declares a pure Score (selection.HasPureScore)
+// — a stateful custom policy must be re-evaluated on every call. The
+// caller owning the environment must invalidate a slot (InvalidateScore)
+// whenever something a pure Score may read changes mid-round: a session
+// flip mutating the slot's monitored history, or an occupant
+// replacement. The simulation engine enables the cache at construction
+// and drives both invalidations from its churn paths.
+func (m *Maintainer) EnableScoreCache() {
+	if !selection.HasPureScore(m.pol) {
+		return
+	}
+	m.scoreVal = make([]float64, m.led.NumPeers())
+	m.scoreKey = make([]int64, m.led.NumPeers())
+}
+
+// InvalidateScore drops the cached score for one slot. Cheap enough to
+// call unconditionally on every session flip.
+func (m *Maintainer) InvalidateScore(id overlay.PeerID) {
+	if m.scoreKey != nil {
+		m.scoreKey[id] = 0
+	}
+}
+
+// scoreOf returns the policy score of candidate c with view v, through
+// the (slot, round) memo when enabled.
+func (m *Maintainer) scoreOf(ctx selection.Context, c overlay.PeerID, v selection.View) float64 {
+	if m.scoreKey == nil {
+		return m.pol.Score(ctx, v)
+	}
+	key := ctx.Round + 1
+	if m.scoreKey[c] == key {
+		return m.scoreVal[c]
+	}
+	s := m.pol.Score(ctx, v)
+	m.scoreKey[c] = key
+	m.scoreVal[c] = s
+	return s
+}
 
 // VisibleBelow implements overlay.Watcher: a peer whose visible blocks
 // crossed below the repair threshold has maintenance work.
@@ -326,17 +390,19 @@ func (m *Maintainer) SetUnmetered(id overlay.PeerID, v bool) { m.peers[id].unmet
 // Reset returns a slot to the fresh state (used when a peer dies and
 // the slot is reused). The caller is responsible for the ledger-side
 // cleanup (RemovePeer). The unmetered flag persists: it is a property
-// of the slot.
+// of the slot. Pool capacity is kept — the replacement occupant's first
+// episode reuses it allocation-free.
 func (m *Maintainer) Reset(id overlay.PeerID) {
 	p := &m.peers[id]
 	p.included = false
 	p.outage = false
 	p.lossCheck = false // any pending check belonged to the old occupant
 	p.st = stateIdle
+	p.waited = 0
 	p.uploaded = 0
 	p.dropped = 0
-	p.pool = nil
-	p.inPool = nil
+	p.pool = p.pool[:0]
+	clear(p.inPool)
 	m.Arm(id) // the fresh occupant has an initial upload pending
 }
 
@@ -456,6 +522,19 @@ func (m *Maintainer) stepTriggered(r *rng.Rand, id overlay.PeerID, p *peerState)
 // the archive holds n placed blocks.
 func (m *Maintainer) stepUpload(r *rng.Rand, id overlay.PeerID, p *peerState) StepResult {
 	m.refreshPool(r, id, p)
+	// Compute each pool entry's eligibility once: within this step the
+	// owner is the only actor, so liveness, session state and quota of
+	// non-partner pool members cannot change — only hosts the owner
+	// places on do, and those leave the pool (and gain a partner mark)
+	// at that moment. takeBestPlaceable's per-placement scans then read
+	// one precomputed flag per entry instead of four ledger lookups.
+	for i := range p.pool {
+		e := &p.pool[i]
+		e.placeable = m.tab.Current(e.ref) &&
+			m.led.Online(e.ref.ID) &&
+			(p.unmetered || m.led.FreeQuota(e.ref.ID) >= 1) &&
+			m.partnerMark[e.ref.ID] != m.markEpoch
+	}
 	deficit := m.params.TotalBlocks - m.led.Alive(id)
 	budget := m.params.UploadBudgetPerRound
 	if budget <= 0 {
@@ -507,16 +586,33 @@ func (m *Maintainer) place(owner overlay.PeerID, p *peerState, host overlay.Peer
 		// same single-threaded step; failure is a bug.
 		panic(fmt.Sprintf("maintenance: placement %d->%d failed: %v", owner, host, err))
 	}
+	// The host is a partner now; later placements in the same step must
+	// see it through the current mark epoch.
+	m.partnerMark[host] = m.markEpoch
 }
 
 // refreshPool prunes dead/ineligible entries and samples new candidates
 // up to the per-round budget. Offline candidates are NOT pruned: they
 // agreed to the partnership and become placeable when they return.
+//
+// It opens a fresh partner-mark epoch for the acting owner: the owner's
+// current partners are stamped once (O(degree)), and every subsequent
+// "is this peer already a partner" check here and in takeBestPlaceable
+// is one array compare — replacing the O(degree) HasPlacement scan per
+// candidate that used to dominate churn-round profiles, with identical
+// outcomes (and therefore identical rng draw order).
 func (m *Maintainer) refreshPool(r *rng.Rand, id overlay.PeerID, p *peerState) {
+	m.markEpoch++
+	epoch := m.markEpoch
+	m.hostBuf = m.led.Hosts(id, m.hostBuf[:0])
+	for _, h := range m.hostBuf {
+		m.partnerMark[h] = epoch
+	}
+
 	// Prune entries that can never be used again.
 	valid := p.pool[:0]
 	for _, e := range p.pool {
-		if !m.tab.Current(e.ref) || m.led.HasPlacement(id, e.ref.ID) {
+		if !m.tab.Current(e.ref) || m.partnerMark[e.ref.ID] == epoch {
 			delete(p.inPool, e.ref.ID)
 			continue
 		}
@@ -527,8 +623,20 @@ func (m *Maintainer) refreshPool(r *rng.Rand, id overlay.PeerID, p *peerState) {
 	if len(p.pool) >= m.params.TotalBlocks {
 		return // pool is as large as any conceivable deficit
 	}
+	if cap(p.pool) < m.params.TotalBlocks {
+		// One-shot full-capacity allocation: a pool never holds more
+		// than TotalBlocks entries, the capacity survives episode resets
+		// and occupant replacement, so every slot pays this once —
+		// incremental append growth would instead realloc a handful of
+		// times per slot, spread over the whole run.
+		np := make([]poolEntry, len(p.pool), m.params.TotalBlocks)
+		copy(np, p.pool)
+		p.pool = np
+	}
 	if p.inPool == nil {
-		p.inPool = make(map[overlay.PeerID]uint32)
+		// Sized to the pool's hard cap so steady-state assigns never
+		// grow the table (the dedup map lives as long as the slot).
+		p.inPool = make(map[overlay.PeerID]uint32, m.params.TotalBlocks)
 	}
 	ctx := selection.Context{Round: m.env.Round()}
 	ownerView := m.env.View(id)
@@ -546,7 +654,7 @@ func (m *Maintainer) refreshPool(r *rng.Rand, id overlay.PeerID, p *peerState) {
 		if !p.unmetered && m.led.FreeQuota(c) < 1 {
 			continue
 		}
-		if m.led.HasPlacement(id, c) {
+		if m.partnerMark[c] == epoch {
 			continue // one block per partner per archive
 		}
 		candView := m.env.View(c)
@@ -554,24 +662,28 @@ func (m *Maintainer) refreshPool(r *rng.Rand, id overlay.PeerID, p *peerState) {
 			continue
 		}
 		p.inPool[c] = m.tab.Gen(c)
-		p.pool = append(p.pool, poolEntry{ref: m.tab.Ref(c), score: m.pol.Score(ctx, candView)})
+		p.pool = append(p.pool, poolEntry{ref: m.tab.Ref(c), score: m.scoreOf(ctx, c, candView)})
 	}
 }
 
 // takeBestPlaceable removes and returns the highest-scored pool entry
 // that can receive a block right now (alive, online, quota available,
-// not yet a partner), or NoPeer if none qualifies.
+// not yet a partner), or NoPeer if none qualifies. Eligibility comes
+// from the placeable flags stepUpload — its sole caller — precomputed
+// for this step; the tie-breaking scan order (first entry in current
+// pool order wins among equal scores, swap-remove on take) is
+// load-bearing for reproducibility and must not change.
 func (m *Maintainer) takeBestPlaceable(id overlay.PeerID, p *peerState) overlay.PeerID {
 	bestIdx := -1
-	for i, e := range p.pool {
-		if !m.tab.Current(e.ref) ||
-			!m.led.Online(e.ref.ID) ||
-			(!p.unmetered && m.led.FreeQuota(e.ref.ID) < 1) ||
-			m.led.HasPlacement(id, e.ref.ID) {
+	best := 0.0
+	for i := range p.pool {
+		e := &p.pool[i]
+		if !e.placeable {
 			continue
 		}
-		if bestIdx == -1 || e.score > p.pool[bestIdx].score {
+		if bestIdx == -1 || e.score > best {
 			bestIdx = i
+			best = e.score
 		}
 	}
 	if bestIdx == -1 {

@@ -7,20 +7,23 @@
 //
 //   - BitHistory: one bit per round in a ring buffer - exact, O(1)
 //     per-round recording, fixed memory. Used by the live node, which
-//     probes partners every round.
-//   - IntervalHistory: stores only state transitions - O(1) per session
-//     change, ideal for the simulator where transitions are the rare
-//     events. Window queries cost O(transitions in window).
+//     probes partners every round. Window queries use word-masked
+//     popcounts: O(window/64).
+//   - IntervalHistory: stores only state transitions - O(1) amortised
+//     per session change, ideal for the simulator where transitions are
+//     the rare events. An incrementally maintained online-time prefix
+//     sum makes window queries O(log transitions in window).
 //
-// Both answer the same queries; tests verify they agree on random
-// schedules.
+// Queries (Uptime, OnlineAt, Transitions) are strictly read-only on
+// both representations: recording prunes eagerly, queries never
+// mutate. Both answer the same queries; tests verify they agree on
+// random schedules.
 package monitor
 
 import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"sort"
 )
 
 // ErrOutOfOrder reports a record at a round earlier than already seen.
@@ -100,7 +103,7 @@ func (h *BitHistory) OnlineAt(round int64) (online, known bool) {
 
 // Uptime returns the fraction of recorded rounds spent online over the
 // last n rounds (n clamped to the recorded span). Zero when nothing is
-// recorded.
+// recorded. Cost: O(n/64) via word-masked popcounts.
 func (h *BitHistory) Uptime(n int) float64 {
 	if n <= 0 || h.recorded == 0 {
 		return 0
@@ -108,47 +111,70 @@ func (h *BitHistory) Uptime(n int) float64 {
 	if n > h.recorded {
 		n = h.recorded
 	}
-	on := 0
-	for round := h.next - int64(n); round < h.next; round++ {
-		idx := int(round % int64(h.window))
-		if h.words[idx/64]>>(uint(idx%64))&1 == 1 {
-			on++
-		}
+	idx := int((h.next - int64(n)) % int64(h.window))
+	return float64(h.countRange(idx, n)) / float64(n)
+}
+
+// countRange counts set bits in the circular bit-index range
+// [idx, idx+n) of the window ring.
+func (h *BitHistory) countRange(idx, n int) int {
+	if idx+n <= h.window {
+		return h.countSpan(idx, n)
 	}
-	return float64(on) / float64(n)
+	first := h.window - idx
+	return h.countSpan(idx, first) + h.countSpan(0, n-first)
+}
+
+// countSpan counts set bits in the non-wrapping bit range [lo, lo+n)
+// with word-level popcounts.
+func (h *BitHistory) countSpan(lo, n int) int {
+	hi := lo + n // exclusive
+	w0, w1 := lo/64, (hi-1)/64
+	b0 := uint(lo % 64)
+	if w0 == w1 {
+		mask := (^uint64(0) >> (64 - uint(n))) << b0
+		return bits.OnesCount64(h.words[w0] & mask)
+	}
+	count := bits.OnesCount64(h.words[w0] >> b0)
+	for w := w0 + 1; w < w1; w++ {
+		count += bits.OnesCount64(h.words[w])
+	}
+	tail := uint(hi - w1*64) // bits used in the last word, 1..64
+	count += bits.OnesCount64(h.words[w1] << (64 - tail) >> (64 - tail))
+	return count
 }
 
 // FullWindowUptime returns the online fraction over the whole recorded
-// window using word-level popcounts (fast path for full-window queries).
+// window (kept for callers that want the intent spelled out; Uptime
+// uses the same popcount fast path).
 func (h *BitHistory) FullWindowUptime() float64 {
-	if h.recorded == 0 {
-		return 0
-	}
-	if h.recorded < h.window {
-		return h.Uptime(h.recorded)
-	}
-	on := 0
-	for _, w := range h.words {
-		on += bits.OnesCount64(w)
-	}
-	// Bits beyond window size in the final word are never set.
-	return float64(on) / float64(h.window)
+	return h.Uptime(h.recorded)
 }
 
 // ---------------------------------------------------------------------------
 // IntervalHistory
 
-// transition is a state change at a round.
+// transition is a state change at a round, carrying the online-time
+// prefix sum: onBefore is the cumulative number of online rounds from
+// the first stored transition up to (not including) round. Queries
+// answer any window as a difference of two prefix lookups.
 type transition struct {
-	round  int64
-	online bool
+	round    int64
+	onBefore int64
+	online   bool
 }
 
-// IntervalHistory stores availability as state transitions, pruned to a
-// window. Recording is O(1) amortised; queries walk the (short) list.
+// IntervalHistory stores availability as state transitions in a ring
+// buffer, pruned to a window as recording advances. Recording is O(1)
+// amortised and allocation-free once the ring has grown to the window's
+// transition count; Uptime and OnlineAt are read-only binary searches,
+// O(log transitions).
 type IntervalHistory struct {
 	window int64
-	trans  []transition
+	buf    []transition
+	mask   int // len(buf)-1; len(buf) is a power of two
+	head   int // ring index of the oldest stored transition
+	n      int // stored transitions
 	began  bool
 	start  int64
 }
@@ -162,6 +188,44 @@ func NewIntervalHistory(window int64) *IntervalHistory {
 	return &IntervalHistory{window: window}
 }
 
+// at returns the i-th stored transition in logical (oldest-first) order.
+func (h *IntervalHistory) at(i int) *transition {
+	return &h.buf[(h.head+i)&h.mask]
+}
+
+// push appends a transition, growing the ring when full.
+func (h *IntervalHistory) push(t transition) {
+	if h.n == len(h.buf) {
+		h.grow()
+	}
+	h.buf[(h.head+h.n)&h.mask] = t
+	h.n++
+}
+
+// grow enlarges the ring, relinearising the stored transitions. Small
+// rings double; past 64 entries growth switches to 4x: a history with
+// that many in-window transitions belongs to a genuinely churning peer
+// whose stationary count is window-scale (a one-day session cycle over
+// a 90-day window stores ~180 transitions), so jumping to that scale in
+// one step spares the slow drip of high-water reallocations that
+// per-boundary doubling spreads across the whole run. Always-online
+// peers never grow past the initial 8.
+func (h *IntervalHistory) grow() {
+	newCap := 2 * len(h.buf)
+	if newCap == 0 {
+		newCap = 8
+	} else if newCap > 64 {
+		newCap = 4 * len(h.buf)
+	}
+	nb := make([]transition, newCap)
+	for i := 0; i < h.n; i++ {
+		nb[i] = *h.at(i)
+	}
+	h.buf = nb
+	h.head = 0
+	h.mask = newCap - 1
+}
+
 // RecordTransition notes that the peer's state changed to online at the
 // given round (i.e. it is online from this round onward until the next
 // transition). The first call establishes the initial state.
@@ -170,10 +234,11 @@ func NewIntervalHistory(window int64) *IntervalHistory {
 // preceding the recorded round are discarded as they expire, so memory
 // stays bounded by the window even for histories that are written every
 // session but rarely (or never) queried — the regime of a 50k-round
-// simulation where most peers are never candidates.
+// simulation where most peers are never candidates. Recording is the
+// ONLY mutating operation; queries never prune.
 func (h *IntervalHistory) RecordTransition(round int64, online bool) error {
 	if h.began {
-		last := h.trans[len(h.trans)-1]
+		last := h.at(h.n - 1)
 		if round < last.round {
 			return fmt.Errorf("%w: transition at %d after %d", ErrOutOfOrder, round, last.round)
 		}
@@ -181,34 +246,35 @@ func (h *IntervalHistory) RecordTransition(round int64, online bool) error {
 			return nil // redundant transition; ignore
 		}
 		if round == last.round {
-			// Replace same-round flip.
-			h.trans[len(h.trans)-1].online = online
+			// Replace same-round flip. onBefore accumulates strictly
+			// before last.round, so it is unaffected.
+			last.online = online
 			return nil
 		}
+		on := last.onBefore
+		if last.online {
+			on += round - last.round
+		}
+		h.push(transition{round: round, onBefore: on, online: online})
 	} else {
 		h.began = true
 		h.start = round
+		h.push(transition{round: round, online: online})
 	}
-	h.trans = append(h.trans, transition{round: round, online: online})
 	h.prune(round)
 	return nil
 }
 
 // prune discards transitions that end before now-window, keeping the
 // one that defines the state at the window start. Pruning only ever
-// drops information that no in-window query can see, so eager and lazy
-// pruning answer Uptime identically.
+// drops information that no in-window query can see. Prefix sums are
+// absolute (anchored at the first transition ever stored since the
+// last Reset), so dropping the head never requires rebasing.
 func (h *IntervalHistory) prune(now int64) {
 	cutoff := now - h.window
-	keep := 0
-	for keep+1 < len(h.trans) && h.trans[keep+1].round <= cutoff {
-		keep++
-	}
-	if keep > 0 {
-		// Reslice forward: O(1) per pruned transition. append reallocates
-		// with live elements only once the tail capacity runs out, so the
-		// abandoned prefix is reclaimed and memory stays O(live).
-		h.trans = h.trans[keep:]
+	for h.n >= 2 && h.at(1).round <= cutoff {
+		h.head = (h.head + 1) & h.mask
+		h.n--
 	}
 }
 
@@ -217,17 +283,49 @@ func (h *IntervalHistory) ObservedSince() (round int64, ok bool) {
 	return h.start, h.began
 }
 
-// Reset clears the history, keeping the configured window. Used when a
-// monitored identity is replaced (the observations belong to the
-// departed peer, not to the slot).
+// Reset clears the history, keeping the configured window and the ring
+// capacity (a slot's replacement occupant reuses it allocation-free).
+// Used when a monitored identity is replaced: the observations belong
+// to the departed peer, not to the slot.
 func (h *IntervalHistory) Reset() {
-	h.trans = h.trans[:0]
+	h.head = 0
+	h.n = 0
 	h.began = false
 	h.start = 0
 }
 
+// countAtOrBefore returns how many stored transitions have round <= x
+// (binary search over the ring).
+func (h *IntervalHistory) countAtOrBefore(x int64) int {
+	lo, hi := 0, h.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.at(mid).round <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// onlineBefore returns the cumulative online rounds in
+// [first stored transition, x), from the prefix sums.
+func (h *IntervalHistory) onlineBefore(x int64) int64 {
+	idx := h.countAtOrBefore(x)
+	if idx == 0 {
+		return 0
+	}
+	t := h.at(idx - 1)
+	on := t.onBefore
+	if t.online {
+		on += x - t.round
+	}
+	return on
+}
+
 // Uptime returns the online fraction over [now-n, now), clamped to the
-// observed span. now is exclusive.
+// observed span. now is exclusive. Read-only; cost O(log transitions).
 func (h *IntervalHistory) Uptime(now int64, n int64) float64 {
 	if !h.began || n <= 0 {
 		return 0
@@ -242,44 +340,25 @@ func (h *IntervalHistory) Uptime(now int64, n int64) float64 {
 	if from >= now {
 		return 0
 	}
-	h.prune(now)
-	var online int64
-	for i, tr := range h.trans {
-		if !tr.online {
-			continue
-		}
-		lo := tr.round
-		if lo < from {
-			lo = from
-		}
-		hi := now
-		if i+1 < len(h.trans) && h.trans[i+1].round < hi {
-			hi = h.trans[i+1].round
-		}
-		if hi > lo {
-			online += hi - lo
-		}
-	}
+	online := h.onlineBefore(now) - h.onlineBefore(from)
 	return float64(online) / float64(now-from)
 }
 
 // OnlineAt reports the state at a given round, if observed. Rounds
 // older than the pruning window of the latest recorded transition are
-// unknown. Cost: O(log transitions).
+// unknown. Read-only; cost O(log transitions).
 func (h *IntervalHistory) OnlineAt(round int64) (online, known bool) {
 	if !h.began || round < h.start {
 		return false, false
 	}
-	// Binary search for the last transition at or before round.
-	idx := sort.Search(len(h.trans), func(i int) bool {
-		return h.trans[i].round > round
-	})
+	idx := h.countAtOrBefore(round)
 	if idx == 0 {
 		return false, false // all stored transitions are later (or pruned)
 	}
-	return h.trans[idx-1].online, true
+	return h.at(idx - 1).online, true
 }
 
-// Transitions returns the number of stored transitions (after pruning
-// at the last query); exposed for tests and memory accounting.
-func (h *IntervalHistory) Transitions() int { return len(h.trans) }
+// Transitions returns the number of stored transitions. The count is
+// bounded by recording's eager pruning alone — queries are read-only
+// and never change it.
+func (h *IntervalHistory) Transitions() int { return h.n }

@@ -202,9 +202,13 @@ func TestIntervalHistoryPruning(t *testing.T) {
 	for r := int64(0); r < 200; r += 10 {
 		_ = h.RecordTransition(r, (r/10)%2 == 0)
 	}
-	// Before pruning there are 20 transitions; a query prunes to the
-	// window.
+	// Recording prunes eagerly, so the stored count is already bounded
+	// by the window; queries are read-only and change nothing.
+	before := h.Transitions()
 	_ = h.Uptime(200, 50)
+	if h.Transitions() != before {
+		t.Fatalf("query changed Transitions: %d -> %d", before, h.Transitions())
+	}
 	if h.Transitions() > 7 {
 		t.Fatalf("pruning left %d transitions", h.Transitions())
 	}

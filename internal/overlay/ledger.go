@@ -122,6 +122,31 @@ func NewLedger(n int, quota int32) *Ledger {
 // filtering instead.
 func (l *Ledger) SetStrict(strict bool) { l.strict = strict }
 
+// Reserve preallocates every slot's adjacency capacity from two shared
+// slabs: ownerCap placements per owner (the archive size n) and hostCap
+// entries per host (the quota, plus one per unmetered observer). The
+// simulation engine calls it once at construction so steady-state
+// place/remove traffic never grows a slice — the placement hot path
+// becomes allocation-free, and the slabs cost no more than the
+// doubling-growth high-water mark they replace. A slot whose list
+// outgrows its reservation falls back to the allocator transparently.
+// Must be called before any placements are recorded; zero caps skip the
+// corresponding side.
+func (l *Ledger) Reserve(ownerCap, hostCap int) {
+	if ownerCap > 0 {
+		slab := make([]placement, len(l.fwd)*ownerCap)
+		for i := range l.fwd {
+			l.fwd[i] = slab[i*ownerCap : i*ownerCap : (i+1)*ownerCap]
+		}
+	}
+	if hostCap > 0 {
+		slab := make([]hostEntry, len(l.rev)*hostCap)
+		for i := range l.rev {
+			l.rev[i] = slab[i*hostCap : i*hostCap : (i+1)*hostCap]
+		}
+	}
+}
+
 // Watch registers the threshold-crossing watcher: VisibleBelow fires
 // when an owner's visible count crosses below visibleThr, AliveBelow
 // when its alive count crosses below aliveThr. Crossings are edge-
@@ -269,7 +294,10 @@ func (l *Ledger) DropPlacementAt(owner PeerID, idx int) error {
 }
 
 // SetOnline flips a host's session state, updating every affected
-// owner's visible counter. Cost: O(blocks hosted).
+// owner's visible counter. Cost: O(blocks hosted). This is the
+// session-churn hot loop — the threshold compare is inlined rather
+// than calling noteVisibleDec so the no-watcher and no-crossing cases
+// stay branch-only.
 func (l *Ledger) SetOnline(host PeerID, online bool) {
 	if l.check(host) != nil {
 		return
@@ -278,15 +306,27 @@ func (l *Ledger) SetOnline(host PeerID, online bool) {
 		return
 	}
 	l.online[host] = online
+	rev := l.rev[host]
+	vis := l.visible
 	if online {
-		for _, e := range l.rev[host] {
-			l.visible[e.owner]++
+		for i := range rev {
+			vis[rev[i].owner]++
 		}
 		return
 	}
-	for _, e := range l.rev[host] {
-		l.visible[e.owner]--
-		l.noteVisibleDec(e.owner)
+	if l.watcher == nil {
+		for i := range rev {
+			vis[rev[i].owner]--
+		}
+		return
+	}
+	thr := l.visThr - 1
+	for i := range rev {
+		o := rev[i].owner
+		vis[o]--
+		if vis[o] == thr {
+			l.watcher.VisibleBelow(o)
+		}
 	}
 }
 

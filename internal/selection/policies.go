@@ -31,6 +31,9 @@ func (a agePolicy) AcceptProb(_ Context, acceptor, requester View) float64 {
 	return AcceptanceFunction(acceptor.Observed.Age, requester.Observed.Age, a.L)
 }
 
+// PureScore declares Score a pure function of (Context, View).
+func (a agePolicy) PureScore() bool { return true }
+
 func (a agePolicy) Score(_ Context, candidate View) float64 {
 	age := candidate.Observed.Age
 	if age > a.L {
@@ -49,6 +52,7 @@ func (randomPolicy) Name() string                           { return "random" }
 func (randomPolicy) AcceptProb(Context, View, View) float64 { return 1 }
 func (randomPolicy) Score(Context, View) float64            { return 0 }
 func (randomPolicy) AlwaysAccepts() bool                    { return true }
+func (randomPolicy) PureScore() bool                        { return true }
 
 // youngestPolicy ranks youngest first: the adversarial baseline.
 type youngestPolicy struct{}
@@ -57,6 +61,7 @@ func (youngestPolicy) Name() string                           { return "youngest
 func (youngestPolicy) AcceptProb(Context, View, View) float64 { return 1 }
 func (youngestPolicy) Score(_ Context, c View) float64        { return -float64(c.Observed.Age) }
 func (youngestPolicy) AlwaysAccepts() bool                    { return true }
+func (youngestPolicy) PureScore() bool                        { return true }
 
 // ---------------------------------------------------------------------------
 // Oracle baselines (the only policies that may read View.Oracle)
@@ -68,6 +73,7 @@ func (availOraclePolicy) Name() string                           { return "avail
 func (availOraclePolicy) AcceptProb(Context, View, View) float64 { return 1 }
 func (availOraclePolicy) Score(_ Context, c View) float64        { return c.Oracle.Availability }
 func (availOraclePolicy) AlwaysAccepts() bool                    { return true }
+func (availOraclePolicy) PureScore() bool                        { return true }
 
 // lifetimeOraclePolicy ranks by true remaining lifetime, the quantity
 // every observable strategy merely estimates.
@@ -77,6 +83,7 @@ func (lifetimeOraclePolicy) Name() string                           { return "li
 func (lifetimeOraclePolicy) AcceptProb(Context, View, View) float64 { return 1 }
 func (lifetimeOraclePolicy) Score(_ Context, c View) float64        { return float64(c.Oracle.Remaining) }
 func (lifetimeOraclePolicy) AlwaysAccepts() bool                    { return true }
+func (lifetimeOraclePolicy) PureScore() bool                        { return true }
 
 // ---------------------------------------------------------------------------
 // Estimator-backed ranking
@@ -104,6 +111,10 @@ func (e EstimatorRanked) AcceptProb(Context, View, View) float64 { return 1 }
 
 // AlwaysAccepts declares the constant acceptance for Agree's fast path.
 func (e EstimatorRanked) AlwaysAccepts() bool { return true }
+
+// PureScore declares Score a pure function of (Context, View): every
+// lifetime.Estimator is a stateless curve.
+func (e EstimatorRanked) PureScore() bool { return true }
 
 // Score ranks by estimated remaining lifetime at the observed age.
 func (e EstimatorRanked) Score(_ Context, candidate View) float64 {
@@ -141,6 +152,12 @@ func (m MonitoredAvailability) AcceptProb(Context, View, View) float64 { return 
 
 // AlwaysAccepts declares the constant acceptance for Agree's fast path.
 func (m MonitoredAvailability) AlwaysAccepts() bool { return true }
+
+// PureScore declares Score a pure function of (Context, View). The
+// monitored history behind the view is mutable engine state, so a
+// caller memoising this score must invalidate on session flips — the
+// simulation engine does (see maintenance.Maintainer.InvalidateScore).
+func (m MonitoredAvailability) PureScore() bool { return true }
 
 // Score ranks by the monitored uptime over the window ending at the
 // current round.

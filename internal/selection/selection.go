@@ -112,6 +112,9 @@ func (a AgeBased) AcceptProb(acceptor, requester PeerInfo) float64 {
 	return AcceptanceFunction(acceptor.Age, requester.Age, a.L)
 }
 
+// PureScore declares Score a pure function of its arguments.
+func (a AgeBased) PureScore() bool { return true }
+
 // Score ranks candidates by capped age, oldest first.
 func (a AgeBased) Score(candidate PeerInfo) float64 {
 	age := candidate.Age
@@ -168,6 +171,9 @@ func (Random) Score(PeerInfo) float64 { return 0 }
 // AlwaysAccepts declares the constant acceptance for Agree's fast path.
 func (Random) AlwaysAccepts() bool { return true }
 
+// PureScore declares Score a pure function of its arguments.
+func (Random) PureScore() bool { return true }
+
 // AvailabilityOracle accepts everyone and ranks by true availability -
 // an unimplementable upper bound that ignores lifetimes.
 type AvailabilityOracle struct{}
@@ -183,6 +189,9 @@ func (AvailabilityOracle) Score(c PeerInfo) float64 { return c.Availability }
 
 // AlwaysAccepts declares the constant acceptance for Agree's fast path.
 func (AvailabilityOracle) AlwaysAccepts() bool { return true }
+
+// PureScore declares Score a pure function of its arguments.
+func (AvailabilityOracle) PureScore() bool { return true }
 
 // LifetimeOracle accepts everyone and ranks by true remaining lifetime,
 // the quantity age merely estimates. The gap between LifetimeOracle and
@@ -203,6 +212,9 @@ func (LifetimeOracle) Score(c PeerInfo) float64 { return float64(c.Remaining) }
 // AlwaysAccepts declares the constant acceptance for Agree's fast path.
 func (LifetimeOracle) AlwaysAccepts() bool { return true }
 
+// PureScore declares Score a pure function of its arguments.
+func (LifetimeOracle) PureScore() bool { return true }
+
 // YoungestFirst is the adversarial baseline: rank youngest first. If
 // the age signal carries information, this must perform WORSE than
 // Random.
@@ -219,6 +231,9 @@ func (YoungestFirst) Score(c PeerInfo) float64 { return -float64(c.Age) }
 
 // AlwaysAccepts declares the constant acceptance for Agree's fast path.
 func (YoungestFirst) AlwaysAccepts() bool { return true }
+
+// PureScore declares Score a pure function of its arguments.
+func (YoungestFirst) PureScore() bool { return true }
 
 // ---------------------------------------------------------------------------
 // Legacy name resolution

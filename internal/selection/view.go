@@ -108,6 +108,23 @@ func AcceptsAll(v any) bool {
 	return ok && aa.AlwaysAccepts()
 }
 
+// pureScorer is the optional marker a Policy or Strategy implements to
+// declare its Score a pure function of its arguments: no internal
+// state, no randomness, no reads beyond the Context and View. Pure
+// scores may be memoised per (peer, round) by the caller; every policy
+// shipped by this package is pure and declares it.
+type pureScorer interface{ PureScore() bool }
+
+// HasPureScore reports whether a policy or strategy declares (via a
+// `PureScore() bool` method) that Score is a pure function of
+// (Context, View). Callers use it to gate score caching; policies
+// without the marker are conservatively treated as stateful and
+// re-evaluated on every call.
+func HasPureScore(v any) bool {
+	ps, ok := v.(pureScorer)
+	return ok && ps.PureScore()
+}
+
 // AgreeCtx draws both directions of a partnership under a Policy: the
 // owner must accept the candidate and the candidate must accept the
 // owner. Acceptance probabilities of exactly one are short-circuited
@@ -158,6 +175,9 @@ func (l legacyPolicy) Score(_ Context, candidate View) float64 {
 // AlwaysAccepts forwards the wrapped strategy's marker.
 func (l legacyPolicy) AlwaysAccepts() bool { return AcceptsAll(l.s) }
 
+// PureScore forwards the wrapped strategy's marker.
+func (l legacyPolicy) PureScore() bool { return HasPureScore(l.s) }
+
 // flatten collapses a View into the legacy PeerInfo.
 func flatten(v View) PeerInfo {
 	return PeerInfo{
@@ -196,6 +216,9 @@ func (a policyStrategy) Score(candidate PeerInfo) float64 {
 
 // AlwaysAccepts forwards the wrapped policy's marker.
 func (a policyStrategy) AlwaysAccepts() bool { return AcceptsAll(a.p) }
+
+// PureScore forwards the wrapped policy's marker.
+func (a policyStrategy) PureScore() bool { return HasPureScore(a.p) }
 
 // inflate spreads a legacy PeerInfo over the View knowledge split.
 func inflate(i PeerInfo) View {

@@ -63,6 +63,75 @@ type RoundEndEvent struct {
 	Population [metrics.NumCategories]int64
 }
 
+// probe event kind indices; each kind's EventSet bit is 1 << index.
+const (
+	evChurn = iota
+	evDeath
+	evRepair
+	evOutage
+	evHardLoss
+	evStall
+	evCancel
+	evShock
+	evObserverRepair
+	evRoundEnd
+	numProbeEvents
+)
+
+// EventSet is a bitmask of probe event kinds, used by probes to
+// declare which events they observe (see EventDeclarer).
+type EventSet uint16
+
+// Event kind bits for EventSet, one per Probe hook.
+const (
+	// EventChurn selects OnChurn.
+	EventChurn EventSet = 1 << evChurn
+	// EventDeath selects OnDeath.
+	EventDeath EventSet = 1 << evDeath
+	// EventRepair selects OnRepair.
+	EventRepair EventSet = 1 << evRepair
+	// EventOutage selects OnOutage.
+	EventOutage EventSet = 1 << evOutage
+	// EventHardLoss selects OnHardLoss.
+	EventHardLoss EventSet = 1 << evHardLoss
+	// EventStall selects OnStall.
+	EventStall EventSet = 1 << evStall
+	// EventCancel selects OnCancel.
+	EventCancel EventSet = 1 << evCancel
+	// EventShock selects OnShock.
+	EventShock EventSet = 1 << evShock
+	// EventObserverRepair selects OnObserverRepair.
+	EventObserverRepair EventSet = 1 << evObserverRepair
+	// EventRoundEnd selects OnRoundEnd.
+	EventRoundEnd EventSet = 1 << evRoundEnd
+)
+
+// AllEvents selects every event kind: the implied declaration of a
+// probe without an EventDeclarer.
+const AllEvents EventSet = 1<<numProbeEvents - 1
+
+// EventDeclarer is the optional capability interface a Probe implements
+// to declare which events it observes. New compiles the probe list into
+// per-event dispatch slices from these declarations, so each emitted
+// event touches only the probes that asked for it — an event nobody
+// observes is a loop over an empty slice, with zero interface calls.
+// A probe that does not implement EventDeclarer is dispatched every
+// event kind. Declaring too few events means silently missed callbacks;
+// declaring extra ones is merely a few wasted no-op calls.
+type EventDeclarer interface {
+	// ProbeEvents returns the set of events the probe observes.
+	ProbeEvents() EventSet
+}
+
+// probeEvents returns a probe's declared event set, or AllEvents for
+// probes without a declaration.
+func probeEvents(p Probe) EventSet {
+	if d, ok := p.(EventDeclarer); ok {
+		return d.ProbeEvents()
+	}
+	return AllEvents
+}
+
 // Probe observes a simulation run. The engine emits every protocol
 // event to each attached probe, in attachment order, at the moment the
 // event happens; the built-in metrics collector, observer tracker and
@@ -148,6 +217,12 @@ type collectorProbe struct {
 	col *metrics.Collector
 }
 
+// ProbeEvents declares the events the collector consumes, so churn and
+// death traffic — the bulk of a round's events — skips it entirely.
+func (collectorProbe) ProbeEvents() EventSet {
+	return EventRepair | EventOutage | EventHardLoss | EventStall | EventShock | EventRoundEnd
+}
+
 func (p collectorProbe) OnRepair(e RepairEvent) {
 	p.col.RecordRepair(e.Round, e.Category, e.Profile, e.Initial, e.Uploaded, e.Dropped)
 }
@@ -181,6 +256,9 @@ type observerProbe struct {
 	obs *metrics.ObserverTracker
 }
 
+// ProbeEvents declares the single event the tracker consumes.
+func (observerProbe) ProbeEvents() EventSet { return EventObserverRepair }
+
 func (p observerProbe) OnObserverRepair(e ObserverRepairEvent) {
 	p.obs.RecordRepair(e.Round, e.Observer)
 }
@@ -190,6 +268,9 @@ type traceProbe struct {
 	BaseProbe
 	trace *churn.Trace
 }
+
+// ProbeEvents declares the single event the recorder consumes.
+func (traceProbe) ProbeEvents() EventSet { return EventChurn }
 
 func (p traceProbe) OnChurn(e ChurnEvent) {
 	p.trace.AppendProfile(e.Round, int32(e.Peer), e.Kind, int16(e.Profile))

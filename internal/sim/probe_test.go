@@ -215,3 +215,79 @@ func TestRunContextComplete(t *testing.T) {
 		t.Fatalf("RunContext diverged from Run: %+v vs %+v", a, b)
 	}
 }
+
+// maskedProbe is a recordingProbe that declares a restricted event set.
+type maskedProbe struct {
+	recordingProbe
+	events EventSet
+}
+
+func (p *maskedProbe) ProbeEvents() EventSet { return p.events }
+
+// TestEventDeclarerDispatch: a probe declaring a subset of events
+// receives exactly that subset — and exactly the events an undeclared
+// (observe-everything) probe sees for those kinds — while undeclared
+// kinds never reach it. Declared-but-empty dispatch must not disturb
+// the run (the probes consume no randomness either way).
+func TestEventDeclarerDispatch(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Rounds = 400
+
+	full := &recordingProbe{}
+	masked := &maskedProbe{events: EventChurn | EventDeath}
+	cfg.Probes = []Probe{full, masked}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+
+	if masked.deaths != full.deaths {
+		t.Fatalf("masked probe saw %d deaths, full probe %d", masked.deaths, full.deaths)
+	}
+	if masked.sessions == 0 || masked.sessions != full.sessions ||
+		masked.joins != full.joins || masked.leaves != full.leaves {
+		t.Fatalf("masked churn stream diverged: %+v vs %+v",
+			[3]int64{masked.joins, masked.leaves, masked.sessions},
+			[3]int64{full.joins, full.leaves, full.sessions})
+	}
+	if masked.repairs != 0 || masked.initials != 0 || masked.rounds != 0 ||
+		masked.outages != 0 || masked.hardLoss != 0 || masked.cancels != 0 {
+		t.Fatalf("masked probe received undeclared events: %+v", masked.recordingProbe)
+	}
+	if full.rounds != cfg.Rounds {
+		t.Fatalf("full probe saw %d rounds, want %d", full.rounds, cfg.Rounds)
+	}
+
+	// Attaching masked probes must not perturb the trajectory.
+	bare, err := New(func() Config { c := cfg; c.Probes = nil; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBare := bare.Run()
+	if res.Deaths != resBare.Deaths || res.FinalPlacements != resBare.FinalPlacements {
+		t.Fatalf("masked probes perturbed the run: %d/%d deaths, %d/%d placements",
+			res.Deaths, resBare.Deaths, res.FinalPlacements, resBare.FinalPlacements)
+	}
+}
+
+// TestBuiltinProbeDeclarations pins the built-in probes' declared
+// event sets to the hooks they actually implement, so a future hook
+// added to a collector cannot be silently masked off.
+func TestBuiltinProbeDeclarations(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Probe
+		want EventSet
+	}{
+		{"collector", collectorProbe{}, EventRepair | EventOutage | EventHardLoss | EventStall | EventShock | EventRoundEnd},
+		{"observer", observerProbe{}, EventObserverRepair},
+		{"trace", traceProbe{}, EventChurn},
+		{"undeclared", &recordingProbe{}, AllEvents},
+	}
+	for _, c := range cases {
+		if got := probeEvents(c.p); got != c.want {
+			t.Errorf("%s probe events = %b, want %b", c.name, got, c.want)
+		}
+	}
+}

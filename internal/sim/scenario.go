@@ -127,7 +127,7 @@ func (s *Simulation) stepShocks(round int64) {
 			victims++
 		}
 		ev := ShockEvent{Round: round, Index: i, Name: sp.Name, Victims: victims, Killed: sp.Kill}
-		for _, pr := range s.probes {
+		for _, pr := range s.dispatch[evShock] {
 			pr.OnShock(ev)
 		}
 	}
@@ -232,7 +232,7 @@ func (s *Simulation) applyReplay(round int64) {
 		switch e.Kind {
 		case churn.EvLeave:
 			dead := s.peerEvent(round, id)
-			for _, pr := range s.probes {
+			for _, pr := range s.dispatch[evDeath] {
 				pr.OnDeath(dead)
 			}
 			s.emitChurn(round, id, churn.EvLeave, int(p.profile))
@@ -258,6 +258,7 @@ func (s *Simulation) applyReplay(round int64) {
 			p.online = false
 			s.led.SetOnline(id, false)
 			s.hist[id].Reset() // fresh identity: observations start over
+			s.invalidateSlot(id)
 			s.recordSession(round, id, false)
 			s.emitChurn(round, id, churn.EvJoin, prof)
 		case churn.EvOnline:

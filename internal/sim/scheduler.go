@@ -31,48 +31,75 @@ package sim
 // lifetimes ever wrap.
 const calBuckets = 1 << 13
 
-// calEntry is one scheduled wake: a slot and the round it is due.
-type calEntry struct {
-	slot  int32
+// calNode is one scheduled wake — a slot and the round it is due —
+// linked into its bucket's list. Nodes live in the calendar's shared
+// arena and are recycled through a freelist when drained, so pushes
+// allocate only when the arena's all-time high-water mark grows
+// (amortised to ~zero once the wheel is warm), where per-bucket slices
+// kept reallocating through the wheel's entire first cycle.
+type calNode struct {
 	round int64
+	slot  int32
+	next  int32 // arena index of the next node in the bucket, -1 = end
 }
 
 // calendar is the bucket queue. The zero value is unusable; use
 // newCalendar.
 type calendar struct {
-	buckets [][]calEntry
+	head  []int32 // per bucket: arena index of the list head, -1 = empty
+	arena []calNode
+	free  int32 // freelist head, -1 = empty
 }
 
 func newCalendar() *calendar {
-	return &calendar{buckets: make([][]calEntry, calBuckets)}
+	c := &calendar{head: make([]int32, calBuckets), free: -1}
+	for i := range c.head {
+		c.head[i] = -1
+	}
+	return c
 }
 
 // push schedules a wake for slot at round. Stale entries for the same
 // slot are tolerated (drain drops them via the sched check).
 func (c *calendar) push(slot int32, round int64) {
 	b := round & (calBuckets - 1)
-	c.buckets[b] = append(c.buckets[b], calEntry{slot: slot, round: round})
+	idx := c.free
+	if idx >= 0 {
+		c.free = c.arena[idx].next
+	} else {
+		idx = int32(len(c.arena))
+		c.arena = append(c.arena, calNode{})
+	}
+	c.arena[idx] = calNode{round: round, slot: slot, next: c.head[b]}
+	c.head[b] = idx
 }
 
 // drain appends to out the slots genuinely due at round (entry round
 // matches and the slot's authoritative wake time sched[slot] agrees),
-// keeps future entries that share the bucket, and drops stale ones.
+// keeps future entries that share the bucket, and recycles due and
+// stale ones. List order within a bucket carries no meaning: the
+// caller's visit queue orders the walk by slot id, so relinking during
+// the filter is free to reverse it.
 func (c *calendar) drain(round int64, sched []int64, out []int32) []int32 {
 	b := round & (calBuckets - 1)
-	bucket := c.buckets[b]
-	keep := bucket[:0]
-	for _, e := range bucket {
-		if e.round != round {
-			if e.round > round {
-				keep = append(keep, e)
+	idx := c.head[b]
+	keep := int32(-1)
+	for idx >= 0 {
+		n := &c.arena[idx]
+		next := n.next
+		if n.round > round {
+			n.next = keep // future entry sharing the bucket: keep
+			keep = idx
+		} else {
+			if n.round == round && sched[n.slot] == round {
+				out = append(out, n.slot)
 			}
-			continue // past-round entries are stale leftovers
+			n.next = c.free // due or stale: recycle
+			c.free = idx
 		}
-		if sched[e.slot] == round {
-			out = append(out, e.slot)
-		}
+		idx = next
 	}
-	c.buckets[b] = keep
+	c.head[b] = keep
 	return out
 }
 

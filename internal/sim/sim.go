@@ -49,6 +49,22 @@
 // same event stream; probes consume no randomness, so attaching them
 // never perturbs a run. Runs are cancellable mid-flight through
 // RunContext.
+//
+// Dispatch is compiled at New: probes declare the events they observe
+// through the optional EventDeclarer interface, and each event kind
+// gets its own dispatch slice — emitting an event touches only the
+// probes subscribed to it, and an event nobody observes costs zero
+// interface calls. Probes without a declaration observe everything.
+// Attachment order is preserved within every kind, so each probe sees
+// its subscribed events in exactly the order the engine emits them.
+//
+// The engine also keeps per-round caches off the measurement path: a
+// slot's selection.View (and, in the Maintainer, its pure policy
+// score) is materialised at most once per round regardless of how many
+// repairing peers probe it, invalidated on occupant replacement and
+// session flips. Caches hold no randomness and change no results —
+// ARCHITECTURE.md's "Hot path & caching" section has the full
+// inventory.
 package sim
 
 import (
@@ -115,6 +131,24 @@ type Simulation struct {
 	probes   []Probe
 	replay   *replayScript // non-nil: churn comes from Config.Replay
 
+	// dispatch holds the probe list compiled per event kind from the
+	// probes' EventDeclarer declarations: emitting an event iterates
+	// only the probes that observe it, and an event nobody observes is
+	// a loop over an empty slice — zero interface calls. Attachment
+	// order is preserved within each kind, so every probe still sees
+	// its subscribed events in exactly the order the engine emits them.
+	dispatch [numProbeEvents][]Probe
+
+	// View/score epoch cache: each population slot's selection.View is
+	// materialised at most once per round (viewKey holds round+1, 0 =
+	// invalid) no matter how many repairing peers probe it; the policy
+	// score memo lives next to the policy in the Maintainer. Both are
+	// invalidated when a slot's occupant is replaced; score additionally
+	// on session flips (a flip mutates the monitored history a pure
+	// score may read).
+	viewVal []selection.View
+	viewKey []int64
+
 	// hist is the monitoring substrate: one availability history per
 	// population slot over the last AcceptHorizon rounds (the paper's
 	// "any peer can query the availability of any other peer ... for
@@ -165,7 +199,13 @@ func New(cfg Config) (*Simulation, error) {
 		curQ:     newVisitQueue(cfg.NumPeers),
 		nextQ:    newVisitQueue(cfg.NumPeers),
 		walkPos:  math.MaxInt32,
+		viewVal:  make([]selection.View, cfg.NumPeers),
+		viewKey:  make([]int64, cfg.NumPeers),
 	}
+	// Preallocate the adjacency at its steady-state high-water mark so
+	// the placement hot path never grows a slice: n blocks per owner,
+	// quota per host plus one unmetered block per observer.
+	s.led.Reserve(cfg.TotalBlocks, int(cfg.Quota)+len(cfg.Observers))
 	for i := range s.sched {
 		s.sched[i] = never
 	}
@@ -185,6 +225,16 @@ func New(cfg Config) (*Simulation, error) {
 		s.probes = append(s.probes, traceProbe{trace: s.trace})
 	}
 	s.probes = append(s.probes, cfg.Probes...)
+	// Compile the probe list into per-event dispatch slices (see
+	// EventDeclarer): probes without a declaration observe everything.
+	for _, p := range s.probes {
+		set := probeEvents(p)
+		for k := 0; k < numProbeEvents; k++ {
+			if set&(1<<k) != 0 {
+				s.dispatch[k] = append(s.dispatch[k], p)
+			}
+		}
+	}
 	s.maint = maintenance.New(maintenance.Params{
 		TotalBlocks:          cfg.TotalBlocks,
 		DataBlocks:           cfg.DataBlocks,
@@ -196,6 +246,7 @@ func New(cfg Config) (*Simulation, error) {
 		RepairDelay:          cfg.RepairDelay,
 	}, s.led, s.tab, cfg.Policy, (*simEnv)(s))
 	s.maint.SetWake(s.requestVisit)
+	s.maint.EnableScoreCache() // no-op unless the policy's Score is pure
 
 	if cfg.Replay != nil {
 		// Replayed churn consumes no randomness: slots start dormant and
@@ -318,6 +369,7 @@ func (s *Simulation) initPeer(id overlay.PeerID, round int64, profile int) {
 	p.online = s.r.Bool(p.avail)
 	s.led.SetOnline(id, p.online)
 	s.hist[id].Reset() // fresh identity: observations start over
+	s.invalidateSlot(id)
 	s.recordSession(round, id, p.online)
 	p.toggle = addClamped(round, churn.SessionLengthAt(s.cfg.Avail, s.r, p.avail, p.online, round))
 	s.emitChurn(round, id, churn.EvJoin, prof)
@@ -328,9 +380,9 @@ func (s *Simulation) initPeer(id overlay.PeerID, round int64, profile int) {
 	}
 }
 
-// emitChurn dispatches a churn event to every probe.
+// emitChurn dispatches a churn event to every subscribed probe.
 func (s *Simulation) emitChurn(round int64, id overlay.PeerID, kind churn.EventKind, profile int) {
-	for _, p := range s.probes {
+	for _, p := range s.dispatch[evChurn] {
 		p.OnChurn(ChurnEvent{Round: round, Peer: int(id), Kind: kind, Profile: profile})
 	}
 }
@@ -341,11 +393,20 @@ func (s *Simulation) setOnline(round int64, id overlay.PeerID, p *peer, online b
 	p.online = online
 	s.led.SetOnline(id, online)
 	s.recordSession(round, id, online)
+	s.maint.InvalidateScore(id) // the flip mutated the monitored history
 	kind := churn.EvOffline
 	if online {
 		kind = churn.EvOnline
 	}
 	s.emitChurn(round, id, kind, int(p.profile))
+}
+
+// invalidateSlot drops a population slot's cached view and score when
+// its occupant is replaced: the cached values described the departed
+// peer.
+func (s *Simulation) invalidateSlot(id overlay.PeerID) {
+	s.viewKey[id] = 0
+	s.maint.InvalidateScore(id)
 }
 
 // recordSession feeds a session transition into the slot's availability
@@ -383,7 +444,11 @@ func (steadyHistory) ObservedSince() (round int64, ok bool) { return 0, true }
 
 // View implements maintenance.Env: observable knowledge (age, monitored
 // availability history) split from the oracle ground truth only the
-// oracle baselines read.
+// oracle baselines read. Population views are memoised per (slot,
+// round): the view of a candidate probed by many repairing peers in one
+// round is built once. The memo needs no flip invalidation — the view
+// holds the history by reference — and occupant replacement drops it
+// via invalidateSlot.
 func (e *simEnv) View(id overlay.PeerID) selection.View {
 	s := (*Simulation)(e)
 	if int(id) >= s.cfg.NumPeers {
@@ -394,15 +459,22 @@ func (e *simEnv) View(id overlay.PeerID) selection.View {
 			Oracle:   selection.Oracle{Availability: 1, Remaining: never},
 		}
 	}
+	key := s.round + 1
+	if s.viewKey[id] == key {
+		return s.viewVal[id]
+	}
 	p := &s.peers[id]
 	remaining := int64(never)
 	if p.death != never {
 		remaining = p.death - s.round
 	}
-	return selection.View{
+	v := selection.View{
 		Observed: selection.Observed{Age: s.round - p.join, History: s.hist[id]},
 		Oracle:   selection.Oracle{Availability: p.avail, Remaining: remaining},
 	}
+	s.viewKey[id] = key
+	s.viewVal[id] = v
+	return v
 }
 
 // Round implements maintenance.Env.
@@ -524,21 +596,21 @@ func (s *Simulation) stepRound() {
 				Uploaded:  res.Uploaded,
 				Dropped:   res.Dropped,
 			}
-			for _, pr := range s.probes {
+			for _, pr := range s.dispatch[evRepair] {
 				pr.OnRepair(re)
 			}
 		case maintenance.OutcomeStalled:
-			for _, pr := range s.probes {
+			for _, pr := range s.dispatch[evStall] {
 				pr.OnStall(ev)
 			}
 			if res.OutageStarted {
-				for _, pr := range s.probes {
+				for _, pr := range s.dispatch[evOutage] {
 					pr.OnOutage(ev)
 				}
 			}
 		case maintenance.OutcomeCanceled:
 			s.cancels++
-			for _, pr := range s.probes {
+			for _, pr := range s.dispatch[evCancel] {
 				pr.OnCancel(ev)
 			}
 		}
@@ -555,7 +627,7 @@ func (s *Simulation) stepRound() {
 			switch res.Outcome {
 			case maintenance.OutcomeRepaired, maintenance.OutcomeInitialDone:
 				ev := ObserverRepairEvent{Round: round, Observer: i, Name: s.obsSpecs[i].Name}
-				for _, pr := range s.probes {
+				for _, pr := range s.dispatch[evObserverRepair] {
 					pr.OnObserverRepair(ev)
 				}
 			}
@@ -564,7 +636,7 @@ func (s *Simulation) stepRound() {
 
 	// Phase 3: accounting.
 	end := RoundEndEvent{Round: round, Population: s.catPop}
-	for _, pr := range s.probes {
+	for _, pr := range s.dispatch[evRoundEnd] {
 		pr.OnRoundEnd(end)
 	}
 }
@@ -607,7 +679,7 @@ func (s *Simulation) visitSlot(round int64, id overlay.PeerID) {
 	if s.maint.TakeLossCheck(id) && s.maint.LostArchive(id) {
 		s.maint.ResetArchive(id)
 		ev := s.peerEvent(round, id)
-		for _, pr := range s.probes {
+		for _, pr := range s.dispatch[evHardLoss] {
 			pr.OnHardLoss(ev)
 		}
 	}
@@ -642,7 +714,7 @@ func (s *Simulation) promote(p *peer) {
 // resampling.
 func (s *Simulation) replacePeer(id overlay.PeerID, p *peer, round int64) {
 	dead := s.peerEvent(round, id)
-	for _, pr := range s.probes {
+	for _, pr := range s.dispatch[evDeath] {
 		pr.OnDeath(dead)
 	}
 	s.emitChurn(round, id, churn.EvLeave, int(p.profile))

@@ -5,13 +5,22 @@
 //
 // Usage:
 //
-//	go run ./tools/benchjson                       # BENCH_4.json, engine benches
+//	go run ./tools/benchjson                       # BENCH_5.json, engine benches
 //	go run ./tools/benchjson -out snap.json -benchtime 500x
 //	go run ./tools/benchjson -bench 'BenchmarkSimRound|BenchmarkQuiescentRound'
+//	go run ./tools/benchjson -out new.json -compare BENCH_5.json
 //
-// It shells out to `go test -bench` in the module root and parses the
-// standard benchmark output lines, so whatever the benchmarks measure
-// is exactly what lands in the snapshot.
+// It shells out to `go test -bench` (with -benchmem) in the module
+// root and parses the standard benchmark output lines, so whatever the
+// benchmarks measure is exactly what lands in the snapshot.
+//
+// With -compare OLD.json the run additionally diffs the fresh results
+// against the baseline snapshot: it prints a per-benchmark delta table
+// and exits nonzero when any shared benchmark regressed by more than
+// -max-regress (fraction of the baseline ns/op, default 0.25), or when
+// a baseline benchmark disappeared from the run — the bit-rot the CI
+// gate exists to catch. Benchmarks new in this run are listed but not
+// gated.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -30,10 +40,12 @@ import (
 
 // Benchmark is one parsed `go test -bench` result line.
 type Benchmark struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	MBPerSec   float64 `json:"mb_per_s,omitempty"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
 // Snapshot is the emitted perf artifact.
@@ -49,14 +61,16 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output JSON file")
-	bench := flag.String("bench", "BenchmarkQuiescentRound|BenchmarkChurnRound|BenchmarkSimRound|BenchmarkLedgerSessionFlip|BenchmarkMaintainerStep",
+	out := flag.String("out", "BENCH_5.json", "output JSON file")
+	bench := flag.String("bench", "BenchmarkQuiescentRound|BenchmarkChurnRound|BenchmarkSimRound|BenchmarkLedgerSessionFlip|BenchmarkMaintainerStep|BenchmarkUptime|BenchmarkViewScore",
 		"benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "200x", "go test -benchtime value (fixed counts keep snapshots comparable)")
 	pkg := flag.String("pkg", ".", "package to benchmark")
+	compare := flag.String("compare", "", "baseline snapshot JSON to diff against (exit nonzero on regression)")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs the -compare baseline")
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, *pkg)
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem", *pkg)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {
@@ -105,11 +119,98 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+
+	if *compare != "" && !compareSnapshots(*compare, snap, *maxRegress, *bench) {
+		os.Exit(1)
+	}
 }
+
+// compareSnapshots diffs the fresh snapshot against the baseline file,
+// printing a per-benchmark delta table. It returns false when a shared
+// benchmark regressed beyond maxRegress or a baseline benchmark the
+// run's -bench selection should have produced is missing. Baseline
+// entries outside the selection are ignored, so a gate may compare a
+// fast subset against a full baseline.
+func compareSnapshots(path string, snap Snapshot, maxRegress float64, benchRegex string) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare:", err)
+		return false
+	}
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -compare %s: %v\n", path, err)
+		return false
+	}
+	selected, err := regexp.Compile(benchRegex)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -bench %q: %v\n", benchRegex, err)
+		return false
+	}
+	fresh := make(map[string]Benchmark, len(snap.Benchmarks))
+	for _, b := range snap.Benchmarks {
+		fresh[b.Name] = b
+	}
+
+	fmt.Printf("compare vs %s (limit +%.0f%% ns/op):\n", path, maxRegress*100)
+	ok := true
+	for _, old := range base.Benchmarks {
+		if !selected.MatchString(old.Name) {
+			continue // baseline benchmark outside this run's selection
+		}
+		now, found := fresh[old.Name]
+		if !found {
+			fmt.Printf("  %-44s MISSING (was %s)\n", old.Name, fmtNs(old.NsPerOp))
+			ok = false
+			continue
+		}
+		delta := 0.0
+		if old.NsPerOp > 0 {
+			delta = now.NsPerOp/old.NsPerOp - 1
+		}
+		verdict := "ok"
+		if delta > maxRegress {
+			verdict = "REGRESSION"
+			ok = false
+		}
+		fmt.Printf("  %-44s %12s -> %12s  %+7.1f%%  %s\n",
+			old.Name, fmtNs(old.NsPerOp), fmtNs(now.NsPerOp), delta*100, verdict)
+		delete(fresh, old.Name)
+	}
+	for _, b := range snap.Benchmarks {
+		if _, isNew := fresh[b.Name]; isNew {
+			fmt.Printf("  %-44s %12s -> %12s  (new)\n", b.Name, "-", fmtNs(b.NsPerOp))
+		}
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchjson: regression against baseline", path)
+	}
+	return ok
+}
+
+// fmtNs renders a ns/op figure compactly.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.3gns", ns)
+	}
+}
+
+// gomaxprocsSuffix is the "-N" tail the testing package appends to
+// benchmark names when GOMAXPROCS != 1.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 // parseBenchLine parses one standard result line:
 //
-//	BenchmarkQuiescentRound/peers=25000-8   2000   5267 ns/op [12.3 MB/s]
+//	BenchmarkQuiescentRound/peers=25000-8   2000   5267 ns/op   12.3 MB/s   8 B/op   1 allocs/op
+//
+// The GOMAXPROCS suffix ("-8") is stripped from the name so snapshots
+// taken on machines with different core counts compare by stable names
+// (none of the engine benchmarks end in "-<digits>" themselves).
 func parseBenchLine(line string) (Benchmark, bool) {
 	if !strings.HasPrefix(line, "Benchmark") {
 		return Benchmark{}, false
@@ -123,12 +224,20 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	if err1 != nil || err2 != nil {
 		return Benchmark{}, false
 	}
-	b := Benchmark{Name: fields[0], Iterations: iters, NsPerOp: ns}
+	name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+	b := Benchmark{Name: name, Iterations: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(fields); i++ {
-		if fields[i+1] == "MB/s" {
-			if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
-				b.MBPerSec = v
-			}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "MB/s":
+			b.MBPerSec = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
 		}
 	}
 	return b, true
