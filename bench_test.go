@@ -21,6 +21,7 @@ import (
 	"p2pbackup/internal/rng"
 	"p2pbackup/internal/selection"
 	"p2pbackup/internal/sim"
+	"p2pbackup/internal/transfer"
 )
 
 // benchConfig is the smoke preset shortened further for benchmarking.
@@ -278,6 +279,69 @@ func BenchmarkChurnRound(b *testing.B) {
 	cfg := sim.DefaultConfig() // the paper's 25,000 peers
 	const warmup = 2600
 	cfg.Rounds = int64(b.N) + warmup
+	s, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < warmup; i++ {
+		s.StepRound()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for s.StepRound() {
+	}
+}
+
+// BenchmarkTransferRound measures the per-round engine cost with the
+// transfer scheduler engaged: the paper's churn mix at paper scale over
+// the skewed bandwidth population, so every repair is an in-flight
+// metered upload (enqueue, uplink booking, completion events,
+// suspend/resume on churn). The warmup mirrors BenchmarkChurnRound so
+// the timed section is the same steady state plus the transfer load.
+func BenchmarkTransferRound(b *testing.B) {
+	cfg := sim.DefaultConfig() // the paper's 25,000 peers
+	bw, err := transfer.Parse("skewed")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Bandwidth = bw
+	const warmup = 2600
+	cfg.Rounds = int64(b.N) + warmup
+	s, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < warmup; i++ {
+		s.StepRound()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for s.StepRound() {
+	}
+}
+
+// BenchmarkFlashCrowdRound measures the per-round cost under sustained
+// restore pressure: recurring regional kill shocks with a restore crowd
+// demanding archives back every week, over DSL-class links. This is the
+// engine's worst realistic regime — the completion heap, the restore
+// table and the suspend/resume paths all stay hot.
+func BenchmarkFlashCrowdRound(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	bw, err := transfer.Parse("dsl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Bandwidth = bw
+	cfg.Shocks = []sim.ShockSpec{
+		{Name: "attrition", Rate: 1.0 / float64(churn.Week), Fraction: 0.2, Regions: 8, Kill: true},
+	}
+	const warmup = 2600
+	cfg.Rounds = int64(b.N) + warmup
+	for round := int64(warmup) / 2; round < cfg.Rounds; round += churn.Week {
+		cfg.Restores = append(cfg.Restores, sim.RestoreSpec{
+			Name: "crowd", Round: round, Fraction: 0.3,
+		})
+	}
 	s, err := sim.New(cfg)
 	if err != nil {
 		b.Fatal(err)

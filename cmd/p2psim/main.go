@@ -21,7 +21,10 @@
 // churn), and the scenario campaigns: diurnal (day/night amplitude
 // sweep), blackout (correlated-failure shocks vs baseline), replay
 // (every selection strategy over one recorded churn trace, -trace
-// required; generate traces with cmd/tracegen), all.
+// required; generate traces with cmd/tracegen), transfer-baseline
+// (bandwidth presets compared on identical populations), flashcrowd
+// (mid-run blackout followed by mass restore demand), uplink-sweep
+// (budget-mode baseline vs DSL-class uplinks from 0.25x to 4x), all.
 //
 // -strategy overrides the partner-selection strategy of the base
 // configuration with a spec string from the selection registry: age,
@@ -29,6 +32,15 @@
 // youngest-first, estimator:age, estimator:pareto[:alpha=A,xm=X],
 // estimator:empirical[:n=N], monitored-availability[:W]. Campaigns that
 // sweep the strategy themselves ignore it per variant.
+//
+// -bandwidth attaches per-peer bandwidth classes so placements become
+// in-flight transfers over metered uplinks: a preset (instant, dsl,
+// mixed, skewed) or an explicit class spec
+// ("[restart;]name:prop:up/down[:inflight];..." in blocks per round,
+// see internal/transfer). The transfer campaigns (transfer-baseline,
+// flashcrowd, uplink-sweep) sweep the mix themselves and ignore it per
+// variant. When any run records backup or restore episodes, the final
+// report includes time-to-backup/time-to-restore distribution lines.
 //
 // Scales: smoke (600 peers, 20k rounds), default (2,500 peers, 50k
 // rounds), paper (25,000 peers, 50k rounds - slow). The replay
@@ -58,10 +70,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"p2pbackup/internal/experiments"
+	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/transfer"
 )
 
 func main() {
@@ -79,6 +94,7 @@ func run() int {
 	quiet := flag.Bool("quiet", false, "suppress progress messages")
 	trace := flag.String("trace", "", "churn trace (CSV/JSONL) for -exp replay / ablation-estimator")
 	strategy := flag.String("strategy", "", "partner-selection strategy spec, e.g. age:L=2160, estimator:pareto, monitored-availability:720 (default: the paper's age strategy)")
+	bandwidth := flag.String("bandwidth", "", "bandwidth class spec: "+strings.Join(transfer.Presets(), " ")+", or name:prop:up/down[:inflight];... (default: the paper's instant placement)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole campaign to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit (go tool pprof)")
 	flag.Parse()
@@ -123,20 +139,36 @@ func run() int {
 		OutDir:       *out,
 		TracePath:    *trace,
 		StrategySpec: *strategy,
+		Bandwidth:    *bandwidth,
 	}
 	if !*quiet {
 		opts.Progress = func(msg string) {
 			fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), msg)
 		}
 	}
-	// Tally simulated rounds off the typed event stream so the run can
-	// close with a throughput figure (a quick field check that the
-	// engine is performing as expected on this machine).
+	// Tally simulated rounds and merge duration distributions off the
+	// typed event stream so the run can close with a throughput figure
+	// and, when any run recorded backup/restore episodes, campaign-wide
+	// time-to-backup/time-to-restore lines. Rows are delivered from the
+	// drain loop's goroutine, but campaigns can run back to back, so the
+	// merge stays mutex-guarded.
 	var simRounds atomic.Int64
+	var (
+		durMu          sync.Mutex
+		ttb, ttr       metrics.Durations
+		restoresFailed int64
+	)
 	opts.Events = func(ev experiments.Event) {
-		if ev.Kind == experiments.EventRow && ev.Row != nil {
-			simRounds.Add(ev.Row.Config.Rounds)
+		if ev.Kind != experiments.EventRow || ev.Row == nil {
+			return
 		}
+		simRounds.Add(ev.Row.Config.Rounds)
+		col := ev.Row.Result.Collector
+		durMu.Lock()
+		ttb.Merge(col.TimeToBackup())
+		ttr.Merge(col.TimeToRestore())
+		restoresFailed += col.RestoresFailed()
+		durMu.Unlock()
 	}
 	start := time.Now()
 	sums, err := experiments.RunCtx(ctx, *exp, opts)
@@ -162,5 +194,21 @@ func run() int {
 	} else {
 		fmt.Fprintf(os.Stderr, "done in %v\n", elapsed.Round(time.Millisecond))
 	}
+	if ttb.N() > 0 {
+		fmt.Fprintf(os.Stderr, "time-to-backup: %s\n", durationLine(&ttb))
+	}
+	if ttr.N() > 0 || restoresFailed > 0 {
+		fmt.Fprintf(os.Stderr, "time-to-restore: %s, %d failed\n", durationLine(&ttr), restoresFailed)
+	}
 	return 0
+}
+
+// durationLine formats a merged duration distribution (rounds = hours)
+// for the final report.
+func durationLine(d *metrics.Durations) string {
+	if d.N() == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%.1fh p50=%.0fh p95=%.0fh max=%.0fh",
+		d.N(), d.Mean(), d.Quantile(0.5), d.Quantile(0.95), d.Max())
 }

@@ -11,6 +11,7 @@ import (
 	"p2pbackup/internal/costmodel"
 	"p2pbackup/internal/selection"
 	"p2pbackup/internal/sim"
+	"p2pbackup/internal/transfer"
 )
 
 // Options configures a registry run.
@@ -31,6 +32,13 @@ type Options struct {
 	// sweep the strategy themselves (ablation-strategy, replay,
 	// ablation-estimator) override it per variant.
 	StrategySpec string
+	// Bandwidth, when non-empty, attaches bandwidth classes to the base
+	// config ("instant", "dsl", "mixed", "skewed", or an explicit class
+	// spec; see transfer.Parse), so any experiment can run over metered
+	// links. Campaigns that sweep the bandwidth mix themselves
+	// (transfer-baseline, flashcrowd, uplink-sweep) override it per
+	// variant.
+	Bandwidth string
 	// Progress receives plain-text progress messages (heartbeats and
 	// per-variant completions).
 	Progress func(string)
@@ -67,7 +75,7 @@ type Summary struct {
 
 // Names lists the runnable experiment ids.
 func Names() []string {
-	return []string{"fig1", "fig2", "fig3", "fig4", "costmodel", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "ablation-estimator", "diurnal", "blackout", "replay", "all"}
+	return []string{"fig1", "fig2", "fig3", "fig4", "costmodel", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "ablation-estimator", "diurnal", "blackout", "replay", "transfer-baseline", "flashcrowd", "uplink-sweep", "all"}
 }
 
 // Run executes an experiment by id and writes its data files.
@@ -123,9 +131,15 @@ func RunCtx(ctx context.Context, name string, opts Options) ([]Summary, error) {
 		return runAblation(ctx, opts, "scenario_replay.tsv", func(cfg sim.Config) Campaign {
 			return ReplayCampaign(cfg, trace)
 		})
+	case "transfer-baseline":
+		return runTransfer(ctx, opts, "scenario_transfer_baseline.tsv", TransferBaselineCampaign)
+	case "flashcrowd":
+		return runTransfer(ctx, opts, "scenario_flashcrowd.tsv", FlashCrowdCampaign)
+	case "uplink-sweep":
+		return runTransfer(ctx, opts, "scenario_uplink_sweep.tsv", UplinkSweepCampaign)
 	case "all":
 		var all []Summary
-		for _, n := range []string{"costmodel", "fig1", "fig3", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "ablation-estimator", "diurnal", "blackout"} {
+		for _, n := range []string{"costmodel", "fig1", "fig3", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "ablation-estimator", "diurnal", "blackout", "transfer-baseline", "flashcrowd", "uplink-sweep"} {
 			s, err := RunCtx(ctx, n, opts)
 			if err != nil {
 				return all, err
@@ -150,6 +164,13 @@ func baseFor(opts Options) (sim.Config, error) {
 			return cfg, err
 		}
 		cfg.StrategySpec = opts.StrategySpec
+	}
+	if opts.Bandwidth != "" {
+		bw, err := transfer.Parse(opts.Bandwidth)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Bandwidth = bw
 	}
 	return cfg, nil
 }

@@ -170,6 +170,30 @@ type Env interface {
 	Round() int64
 }
 
+// Transfers is the bandwidth-scheduling hook (PR 6): when installed
+// via SetTransfers, stepUpload enqueues block transfers instead of
+// placing instantly, and the engine lands them later through
+// DeliverUpload. The implementation (the simulation engine's transfer
+// scheduler) owns all timing; the Maintainer only respects the
+// concurrency cap and the quota reservations of in-flight uploads.
+type Transfers interface {
+	// BeginUpload schedules one block from owner to the host behind
+	// ref. The caller has already validated quota (net of Reserved)
+	// and the owner's UploadSlots headroom.
+	BeginUpload(owner overlay.PeerID, host overlay.Ref)
+	// Inflight returns the owner's outstanding outgoing upload count.
+	Inflight(owner overlay.PeerID) int
+	// UploadSlots returns how many more uploads the owner may start
+	// now under its bandwidth class's concurrency cap.
+	UploadSlots(owner overlay.PeerID) int
+	// Reserved returns the host quota units reserved by in-flight
+	// uploads toward the peer.
+	Reserved(host overlay.PeerID) int
+	// PendingHosts appends the hosts of the owner's in-flight uploads
+	// to buf (partners that must not be double-booked).
+	PendingHosts(owner overlay.PeerID, buf []overlay.PeerID) []overlay.PeerID
+}
+
 // state is the per-archive protocol state.
 type state uint8
 
@@ -197,9 +221,10 @@ type peerState struct {
 	armed     bool // member of the active (dirty) set
 	lossCheck bool // pending archive-loss check (alive crossed below k)
 	st        state
-	waited    int // owner-online rounds spent in Triggered (RepairDelay)
-	uploaded  int // blocks placed in the current episode
-	dropped   int // placements written off at the decode point
+	waited    int   // owner-online rounds spent in Triggered (RepairDelay)
+	uploaded  int   // blocks placed in the current episode
+	dropped   int   // placements written off at the decode point
+	epStart   int64 // round the current repair episode triggered
 	pool      []poolEntry
 	inPool    map[overlay.PeerID]uint32 // id -> gen, for dedup
 }
@@ -225,6 +250,7 @@ type Maintainer struct {
 	env    Env
 	peers  []peerState
 	wake   func(overlay.PeerID)
+	xfer   Transfers // nil: the historical instant-placement path
 
 	// Partner-mark epochs: refreshPool stamps the acting owner's
 	// current partners into a per-slot epoch array, turning the former
@@ -282,6 +308,14 @@ func New(params Params, led *overlay.Ledger, tab *overlay.Table, pol selection.P
 // a nil hook (the default) leaves the flags purely pull-based, which is
 // what unit tests use.
 func (m *Maintainer) SetWake(f func(overlay.PeerID)) { m.wake = f }
+
+// SetTransfers installs the bandwidth scheduler: metered peers stop
+// placing blocks instantly and enqueue transfers instead, completed
+// later by the engine through DeliverUpload. Unmetered (observer)
+// slots keep the instant path — they are instrumentation, not modelled
+// links. A nil scheduler (the default) is the historical instant mode,
+// byte-identical to the pre-transfer engine.
+func (m *Maintainer) SetTransfers(t Transfers) { m.xfer = t }
 
 // EnableScoreCache turns on the per-(slot, round) score memo. It is a
 // no-op unless the policy declares a pure Score (selection.HasPureScore)
@@ -381,6 +415,12 @@ func (m *Maintainer) Included(id overlay.PeerID) bool { return m.peers[id].inclu
 // Repairing reports whether the peer has a repair episode in flight.
 func (m *Maintainer) Repairing(id overlay.PeerID) bool { return m.peers[id].st != stateIdle }
 
+// EpisodeStart returns the round the peer's current (or, until the next
+// episode begins, most recent) episode started: the trigger round for a
+// repair, the first acting round for an initial upload. The engine
+// reads it when an episode completes to report its elapsed time.
+func (m *Maintainer) EpisodeStart(id overlay.PeerID) int64 { return m.peers[id].epStart }
+
 // PoolSize returns the current candidate pool size (tests/diagnostics).
 func (m *Maintainer) PoolSize(id overlay.PeerID) int { return len(m.peers[id].pool) }
 
@@ -448,6 +488,9 @@ func (m *Maintainer) Step(r *rng.Rand, id overlay.PeerID) StepResult {
 	p := &m.peers[id]
 	if !p.included {
 		// Initial (or post-loss) upload: straight to Uploading.
+		if p.st == stateIdle {
+			p.epStart = m.env.Round()
+		}
 		p.st = stateUploading
 		return m.stepUpload(r, id, p)
 	}
@@ -457,6 +500,7 @@ func (m *Maintainer) Step(r *rng.Rand, id overlay.PeerID) StepResult {
 			return StepResult{Outcome: OutcomeNone}
 		}
 		p.st = stateTriggered
+		p.epStart = m.env.Round()
 		fallthrough
 	case stateTriggered:
 		return m.stepTriggered(r, id, p)
@@ -518,10 +562,25 @@ func (m *Maintainer) stepTriggered(r *rng.Rand, id overlay.PeerID, p *peerState)
 	return m.stepUpload(r, id, p)
 }
 
+// freeQuota returns the host quota available for a new placement or
+// transfer reservation toward c: the ledger's free quota net of units
+// already promised to in-flight uploads. Without a transfer scheduler
+// it is exactly Ledger.FreeQuota.
+func (m *Maintainer) freeQuota(c overlay.PeerID) int {
+	free := m.led.FreeQuota(c)
+	if m.xfer != nil {
+		free -= m.xfer.Reserved(c)
+	}
+	return free
+}
+
 // stepUpload pushes blocks to the best-ranked online pool members until
 // the archive holds n placed blocks.
 func (m *Maintainer) stepUpload(r *rng.Rand, id overlay.PeerID, p *peerState) StepResult {
 	m.refreshPool(r, id, p)
+	if m.xfer != nil && !p.unmetered {
+		return m.stepUploadTransfers(id, p)
+	}
 	// Compute each pool entry's eligibility once: within this step the
 	// owner is the only actor, so liveness, session state and quota of
 	// non-partner pool members cannot change — only hosts the owner
@@ -532,7 +591,7 @@ func (m *Maintainer) stepUpload(r *rng.Rand, id overlay.PeerID, p *peerState) St
 		e := &p.pool[i]
 		e.placeable = m.tab.Current(e.ref) &&
 			m.led.Online(e.ref.ID) &&
-			(p.unmetered || m.led.FreeQuota(e.ref.ID) >= 1) &&
+			(p.unmetered || m.freeQuota(e.ref.ID) >= 1) &&
 			m.partnerMark[e.ref.ID] != m.markEpoch
 	}
 	deficit := m.params.TotalBlocks - m.led.Alive(id)
@@ -562,6 +621,69 @@ func (m *Maintainer) stepUpload(r *rng.Rand, id overlay.PeerID, p *peerState) St
 	}
 	m.finishEpisode(p)
 	return res
+}
+
+// stepUploadTransfers is stepUpload's bandwidth-scheduled body: instead
+// of placing blocks it enqueues transfers to the best-ranked placeable
+// pool members, bounded by the remaining deficit (net of blocks already
+// on the wire) and the class's concurrency headroom. The episode
+// completes when the engine lands the last block through DeliverUpload,
+// never here, so the step outcome is always OutcomeNone.
+func (m *Maintainer) stepUploadTransfers(id overlay.PeerID, p *peerState) StepResult {
+	for i := range p.pool {
+		e := &p.pool[i]
+		e.placeable = m.tab.Current(e.ref) &&
+			m.led.Online(e.ref.ID) &&
+			m.freeQuota(e.ref.ID) >= 1 &&
+			m.partnerMark[e.ref.ID] != m.markEpoch
+	}
+	deficit := m.params.TotalBlocks - m.led.Alive(id) - m.xfer.Inflight(id)
+	slots := m.xfer.UploadSlots(id)
+	for deficit > 0 && slots > 0 {
+		best := m.takeBestPlaceable(id, p)
+		if best == overlay.NoPeer {
+			break
+		}
+		m.xfer.BeginUpload(id, m.tab.Ref(best))
+		// The host holds a reservation now; later picks in this step
+		// must see it as booked.
+		m.partnerMark[best] = m.markEpoch
+		deficit--
+		slots--
+	}
+	return StepResult{Outcome: OutcomeNone}
+}
+
+// DeliverUpload lands one in-flight block from owner on host: the
+// engine calls it when a transfer completes (after the scheduler
+// released its quota reservation, so the placement must succeed). It
+// returns the episode's StepResult and true when this delivery finished
+// the episode — the engine reports the repair there; mid-episode
+// deliveries return false.
+func (m *Maintainer) DeliverUpload(owner, host overlay.PeerID) (StepResult, bool) {
+	p := &m.peers[owner]
+	if p.st != stateUploading {
+		// Transfers exist only for uploading owners, and the engine
+		// aborts them when the owner dies or resets; a delivery in any
+		// other state is a stale transfer that escaped its abort hook.
+		panic(fmt.Sprintf("maintenance: delivery for peer %d in state %d", owner, p.st))
+	}
+	if err := m.led.Place(owner, host); err != nil {
+		panic(fmt.Sprintf("maintenance: delivery %d->%d failed: %v", owner, host, err))
+	}
+	p.uploaded++
+	if m.led.Alive(owner) < m.params.TotalBlocks {
+		return StepResult{}, false
+	}
+	res := StepResult{Uploaded: p.uploaded, Dropped: p.dropped}
+	if p.included {
+		res.Outcome = OutcomeRepaired
+	} else {
+		res.Outcome = OutcomeInitialDone
+		p.included = true
+	}
+	m.finishEpisode(p)
+	return res, true
 }
 
 // finishEpisode clears episode state and releases the pool.
@@ -608,6 +730,15 @@ func (m *Maintainer) refreshPool(r *rng.Rand, id overlay.PeerID, p *peerState) {
 	for _, h := range m.hostBuf {
 		m.partnerMark[h] = epoch
 	}
+	if m.xfer != nil && !p.unmetered {
+		// Hosts of in-flight uploads are partners-to-be: they hold a
+		// quota reservation and must not be booked a second time while
+		// the first block is still on the wire.
+		m.hostBuf = m.xfer.PendingHosts(id, m.hostBuf[:0])
+		for _, h := range m.hostBuf {
+			m.partnerMark[h] = epoch
+		}
+	}
 
 	// Prune entries that can never be used again.
 	valid := p.pool[:0]
@@ -651,7 +782,7 @@ func (m *Maintainer) refreshPool(r *rng.Rand, id overlay.PeerID, p *peerState) {
 		if gen, ok := p.inPool[c]; ok && gen == m.tab.Gen(c) {
 			continue // already pooled
 		}
-		if !p.unmetered && m.led.FreeQuota(c) < 1 {
+		if !p.unmetered && m.freeQuota(c) < 1 {
 			continue
 		}
 		if m.partnerMark[c] == epoch {

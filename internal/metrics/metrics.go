@@ -134,8 +134,70 @@ type Collector struct {
 	shockLosses  int64
 	lastShock    int64
 
+	// Time-to-safety distributions (the transfer engine's headline
+	// metrics): rounds from a backup/repair episode triggering to its
+	// last block landing, and rounds from restore demand to the archive
+	// being fully downloaded.
+	ttb            Durations
+	ttr            Durations
+	restoresFailed int64
+
 	sampleEvery int64
 	warmup      int64 // rounds excluded from rate numerators/denominators
+}
+
+// Durations is a duration distribution: streaming moments plus the raw
+// samples, so campaigns can report quantiles (median, p95) alongside
+// the mean. Samples are in rounds.
+type Durations struct {
+	stream  stats.Stream
+	samples []float64
+}
+
+// Record adds one duration sample.
+func (d *Durations) Record(v float64) {
+	d.stream.Add(v)
+	d.samples = append(d.samples, v)
+}
+
+// Merge folds other into d (cross-variant aggregation).
+func (d *Durations) Merge(other *Durations) {
+	d.stream.Merge(&other.stream)
+	d.samples = append(d.samples, other.samples...)
+}
+
+// N returns the sample count.
+func (d *Durations) N() int64 { return d.stream.N() }
+
+// Mean returns the sample mean (0 when empty).
+func (d *Durations) Mean() float64 { return d.stream.Mean() }
+
+// Min returns the smallest sample (0 when empty).
+func (d *Durations) Min() float64 {
+	if d.stream.N() == 0 {
+		return 0
+	}
+	return d.stream.Min()
+}
+
+// Max returns the largest sample (0 when empty).
+func (d *Durations) Max() float64 {
+	if d.stream.N() == 0 {
+		return 0
+	}
+	return d.stream.Max()
+}
+
+// Quantile returns the q-quantile of the samples (0 when empty).
+func (d *Durations) Quantile(q float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	v, err := stats.Quantile(d.samples, q)
+	if err != nil {
+		panic(err) // non-empty samples and engine-controlled q; a failure is a bug
+	}
+	return v
 }
 
 // ShockAttributionWindow is how long after a shock a lost archive is
@@ -241,6 +303,42 @@ func (c *Collector) RecordHardLoss(round int64, cat Category, profile int) {
 	}
 	c.cats[cat].HardLosses++
 }
+
+// RecordBackupTime notes a completed backup/repair episode that took
+// the given number of rounds from trigger to last block landed.
+func (c *Collector) RecordBackupTime(round int64, rounds float64) {
+	if !c.measured(round) {
+		return
+	}
+	c.ttb.Record(rounds)
+}
+
+// RecordRestoreTime notes a completed archive restore that took the
+// given number of rounds from demand to fully downloaded.
+func (c *Collector) RecordRestoreTime(round int64, rounds float64) {
+	if !c.measured(round) {
+		return
+	}
+	c.ttr.Record(rounds)
+}
+
+// RecordRestoreFailed notes a restore aborted before completion (the
+// restoring peer died).
+func (c *Collector) RecordRestoreFailed(round int64) {
+	if !c.measured(round) {
+		return
+	}
+	c.restoresFailed++
+}
+
+// TimeToBackup returns the backup/repair episode duration distribution.
+func (c *Collector) TimeToBackup() *Durations { return &c.ttb }
+
+// TimeToRestore returns the restore duration distribution.
+func (c *Collector) TimeToRestore() *Durations { return &c.ttr }
+
+// RestoresFailed returns the number of restores aborted by peer death.
+func (c *Collector) RestoresFailed() int64 { return c.restoresFailed }
 
 // RecordStall notes a round in which a peer needed repair but could not
 // proceed (not enough visible blocks to decode, or owner offline).

@@ -5,6 +5,7 @@ import (
 
 	"p2pbackup/internal/churn"
 	"p2pbackup/internal/selection"
+	"p2pbackup/internal/transfer"
 )
 
 // ObserverSpec declares a fixed-age observer peer (the paper's section
@@ -52,7 +53,22 @@ type Config struct {
 	// UploadBudgetPerRound caps blocks uploaded per peer per round (the
 	// section 2.2.4 bandwidth bound: a worst-case repair of ~128 blocks
 	// fills about one hour on the reference DSL link). 0 = unlimited.
+	// Superseded by Bandwidth when a non-instant class mix is set.
 	UploadBudgetPerRound int
+
+	// Bandwidth, when non-nil, replaces instantaneous placement with
+	// bandwidth-aware transfer scheduling: peers draw a bandwidth class
+	// at join, uploads and restores flow over asymmetric links, and
+	// completions are calendar events (see internal/transfer). A nil
+	// Bandwidth — or the degenerate single instant class — keeps the
+	// historical instant path, bit-identical to pre-transfer runs.
+	Bandwidth *transfer.Params
+
+	// Restores schedules restore-demand events (flash crowds): at each
+	// spec's round, included peers independently demand their archive
+	// back and download k blocks over their downlink. Restore timing
+	// uses Bandwidth's class rates (instant when Bandwidth is nil).
+	Restores []RestoreSpec
 
 	// Profiles is the behaviour population (default: the paper's four).
 	Profiles *churn.ProfileSet
@@ -218,6 +234,21 @@ func (c Config) Validate() (Config, error) {
 			}
 			if !sp.Kill && sp.Outage == 0 {
 				sp.Outage = churn.Day
+			}
+		}
+	}
+	if c.Bandwidth != nil {
+		bw, err := c.Bandwidth.Validate()
+		if err != nil {
+			return c, fmt.Errorf("sim: %w", err)
+		}
+		c.Bandwidth = bw
+	}
+	if len(c.Restores) > 0 {
+		c.Restores = append([]RestoreSpec(nil), c.Restores...)
+		for _, sp := range c.Restores {
+			if err := sp.Validate(); err != nil {
+				return c, err
 			}
 		}
 	}

@@ -82,6 +82,20 @@ func (d *digestProbe) OnRoundEnd(e RoundEndEvent) {
 	d.mix(vals...)
 }
 
+// Transfer events never fire in instant mode, so mixing them keeps the
+// historical digests intact while pinning bandwidth-mode streams.
+// OnRepair deliberately does not mix Elapsed: the field was added after
+// the goldens were captured.
+func (d *digestProbe) OnTransferStart(e TransferEvent) {
+	d.mix(11, e.Round, e.ID, int64(e.Kind), int64(e.Owner), int64(e.Host), int64(e.Blocks), e.Elapsed)
+}
+func (d *digestProbe) OnTransferComplete(e TransferEvent) {
+	d.mix(12, e.Round, e.ID, int64(e.Kind), int64(e.Owner), int64(e.Host), int64(e.Blocks), e.Elapsed)
+}
+func (d *digestProbe) OnTransferAbort(e TransferEvent) {
+	d.mix(13, e.Round, e.ID, int64(e.Kind), int64(e.Owner), int64(e.Host), int64(e.Blocks), e.Elapsed)
+}
+
 // digestRun executes cfg with a digest probe attached and folds the
 // result counters into the final hash.
 func digestRun(t *testing.T, cfg Config) uint64 {

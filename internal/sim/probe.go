@@ -3,6 +3,7 @@ package sim
 import (
 	"p2pbackup/internal/churn"
 	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/transfer"
 )
 
 // PeerEvent identifies a peer-scoped simulation event: which peer, in
@@ -22,6 +23,26 @@ type RepairEvent struct {
 	Initial  bool
 	Uploaded int // blocks uploaded
 	Dropped  int // placements abandoned (offline partners)
+	// Elapsed is the episode's duration in rounds, from the round the
+	// repair triggered (or the initial upload first acted) to this
+	// completion: the run's time-to-backup observable. In instant mode
+	// most episodes complete in the round they start (Elapsed 0); with
+	// bandwidth classes the upload phase stretches it.
+	Elapsed int64
+}
+
+// TransferEvent reports a block transfer's lifecycle under bandwidth
+// scheduling (Config.Bandwidth): enqueued (start), delivered
+// (complete), or killed by an endpoint dying (abort). Host is -1 for
+// restores, which have a single endpoint.
+type TransferEvent struct {
+	Round   int64
+	ID      int64 // scheduler transfer id, ascending in enqueue order
+	Kind    transfer.Kind
+	Owner   int
+	Host    int     // receiving partner; -1 for a restore
+	Blocks  float64 // transfer size (1 for uploads, k for restores)
+	Elapsed int64   // rounds since enqueue (0 on start events)
 }
 
 // ChurnEvent reports a membership or session transition (join, leave,
@@ -75,6 +96,11 @@ const (
 	evShock
 	evObserverRepair
 	evRoundEnd
+	// Transfer events append after the historical kinds so the existing
+	// EventSet bit values stay stable.
+	evTransferStart
+	evTransferComplete
+	evTransferAbort
 	numProbeEvents
 )
 
@@ -104,6 +130,12 @@ const (
 	EventObserverRepair EventSet = 1 << evObserverRepair
 	// EventRoundEnd selects OnRoundEnd.
 	EventRoundEnd EventSet = 1 << evRoundEnd
+	// EventTransferStart selects OnTransferStart.
+	EventTransferStart EventSet = 1 << evTransferStart
+	// EventTransferComplete selects OnTransferComplete.
+	EventTransferComplete EventSet = 1 << evTransferComplete
+	// EventTransferAbort selects OnTransferAbort.
+	EventTransferAbort EventSet = 1 << evTransferAbort
 )
 
 // AllEvents selects every event kind: the implied declaration of a
@@ -172,6 +204,13 @@ type Probe interface {
 	OnObserverRepair(ObserverRepairEvent)
 	// OnRoundEnd closes each round with the category populations.
 	OnRoundEnd(RoundEndEvent)
+	// OnTransferStart reports a transfer enqueued on a peer's link
+	// (bandwidth scheduling only; never fires in instant mode).
+	OnTransferStart(TransferEvent)
+	// OnTransferComplete reports a transfer delivered.
+	OnTransferComplete(TransferEvent)
+	// OnTransferAbort reports a transfer killed by an endpoint dying.
+	OnTransferAbort(TransferEvent)
 }
 
 // BaseProbe is a no-op Probe for embedding: override only the hooks a
@@ -208,6 +247,15 @@ func (BaseProbe) OnObserverRepair(ObserverRepairEvent) {}
 // OnRoundEnd implements Probe.
 func (BaseProbe) OnRoundEnd(RoundEndEvent) {}
 
+// OnTransferStart implements Probe.
+func (BaseProbe) OnTransferStart(TransferEvent) {}
+
+// OnTransferComplete implements Probe.
+func (BaseProbe) OnTransferComplete(TransferEvent) {}
+
+// OnTransferAbort implements Probe.
+func (BaseProbe) OnTransferAbort(TransferEvent) {}
+
 // ---------------------------------------------------------------------------
 // Built-in probes: the metrics layer, expressed as probes.
 
@@ -220,11 +268,25 @@ type collectorProbe struct {
 // ProbeEvents declares the events the collector consumes, so churn and
 // death traffic — the bulk of a round's events — skips it entirely.
 func (collectorProbe) ProbeEvents() EventSet {
-	return EventRepair | EventOutage | EventHardLoss | EventStall | EventShock | EventRoundEnd
+	return EventRepair | EventOutage | EventHardLoss | EventStall | EventShock |
+		EventRoundEnd | EventTransferComplete | EventTransferAbort
 }
 
 func (p collectorProbe) OnRepair(e RepairEvent) {
 	p.col.RecordRepair(e.Round, e.Category, e.Profile, e.Initial, e.Uploaded, e.Dropped)
+	p.col.RecordBackupTime(e.Round, float64(e.Elapsed))
+}
+
+func (p collectorProbe) OnTransferComplete(e TransferEvent) {
+	if e.Kind == transfer.Restore {
+		p.col.RecordRestoreTime(e.Round, float64(e.Elapsed))
+	}
+}
+
+func (p collectorProbe) OnTransferAbort(e TransferEvent) {
+	if e.Kind == transfer.Restore {
+		p.col.RecordRestoreFailed(e.Round)
+	}
 }
 
 func (p collectorProbe) OnOutage(e PeerEvent) {

@@ -280,7 +280,8 @@ func TestBuiltinProbeDeclarations(t *testing.T) {
 		p    Probe
 		want EventSet
 	}{
-		{"collector", collectorProbe{}, EventRepair | EventOutage | EventHardLoss | EventStall | EventShock | EventRoundEnd},
+		{"collector", collectorProbe{}, EventRepair | EventOutage | EventHardLoss | EventStall | EventShock |
+			EventRoundEnd | EventTransferComplete | EventTransferAbort},
 		{"observer", observerProbe{}, EventObserverRepair},
 		{"trace", traceProbe{}, EventChurn},
 		{"undeclared", &recordingProbe{}, AllEvents},

@@ -240,6 +240,9 @@ func (s *Simulation) applyReplay(round int64) {
 			s.catPop[p.cat]--
 			s.led.RemovePeer(id)
 			s.tab.Bump(id)
+			if s.xfer != nil {
+				s.xferAbortAll(round, id)
+			}
 			s.maint.Reset(id)
 		case churn.EvJoin:
 			prof := int(e.Profile)
@@ -248,6 +251,11 @@ func (s *Simulation) applyReplay(round int64) {
 			}
 			p.profile = int32(prof)
 			p.avail = s.cfg.Profiles.Profile(prof).Availability
+			if s.xfer != nil {
+				// Like initPeer: a single-class mix consumes no
+				// randomness, keeping replayed runs deterministic.
+				s.xfer.sched.AssignClass(id, s.xfer.sched.Params().SampleIndex(s.r))
+			}
 			p.join = round
 			p.cat = metrics.Newcomer
 			s.catPop[metrics.Newcomer]++

@@ -78,6 +78,7 @@ import (
 	"p2pbackup/internal/overlay"
 	"p2pbackup/internal/rng"
 	"p2pbackup/internal/selection"
+	"p2pbackup/internal/transfer"
 )
 
 // never is a round sentinel beyond any simulation horizon.
@@ -130,6 +131,7 @@ type Simulation struct {
 	trace    *churn.Trace
 	probes   []Probe
 	replay   *replayScript // non-nil: churn comes from Config.Replay
+	xfer     *xferState    // non-nil: bandwidth scheduling or restore demand enabled
 
 	// dispatch holds the probe list compiled per event kind from the
 	// probes' EventDeclarer declarations: emitting an event iterates
@@ -248,6 +250,32 @@ func New(cfg Config) (*Simulation, error) {
 	s.maint.SetWake(s.requestVisit)
 	s.maint.EnableScoreCache() // no-op unless the policy's Score is pure
 
+	if cfg.Bandwidth != nil || len(cfg.Restores) > 0 {
+		// The transfer machinery exists only when asked for; without it
+		// the engine is literally the pre-transfer engine. Restore-only
+		// configs schedule downloads against the degenerate instant mix.
+		params := cfg.Bandwidth
+		if params == nil {
+			params, err = transfer.InstantParams().Validate()
+			if err != nil {
+				panic(err) // static input; cannot fail
+			}
+		}
+		s.xfer = &xferState{
+			// Scheduler slots cover the population only: observers are
+			// unmetered instrumentation and never reach the scheduler.
+			sched:     transfer.NewScheduler(params, cfg.NumPeers),
+			restore:   make([]int64, cfg.NumPeers),
+			bandwidth: !params.Instant(),
+		}
+		for i := range s.xfer.restore {
+			s.xfer.restore[i] = -1
+		}
+		if s.xfer.bandwidth {
+			s.maint.SetTransfers((*simXfer)(s))
+		}
+	}
+
 	if cfg.Replay != nil {
 		// Replayed churn consumes no randomness: slots start dormant and
 		// the trace's round-0 joins populate them at the top of Run.
@@ -361,6 +389,12 @@ func (s *Simulation) initPeer(id overlay.PeerID, round int64, profile int) {
 	}
 	p.profile = int32(prof)
 	p.avail = s.cfg.Profiles.Profile(prof).Availability
+	if s.xfer != nil {
+		// Bandwidth class is an identity property like the profile; with
+		// a single class SampleIndex consumes no randomness, so instant
+		// and restore-only configs keep the historical draw order.
+		s.xfer.sched.AssignClass(id, s.xfer.sched.Params().SampleIndex(s.r))
+	}
 	p.join = round
 	p.cat = metrics.Newcomer
 	p.catChange = addClamped(round, metrics.CategoryBound(metrics.Newcomer))
@@ -399,6 +433,16 @@ func (s *Simulation) setOnline(round int64, id overlay.PeerID, p *peer, online b
 		kind = churn.EvOnline
 	}
 	s.emitChurn(round, id, kind, int(p.profile))
+	if s.xfer != nil {
+		// Session flips interrupt the flows they carry: offline suspends
+		// every transfer touching the peer, online resumes those whose
+		// other endpoint is up. Consumes no randomness.
+		if online {
+			s.xferResume(round, id)
+		} else {
+			s.xferSuspend(round, id)
+		}
+	}
 }
 
 // invalidateSlot drops a population slot's cached view and score when
@@ -558,9 +602,13 @@ func (s *Simulation) stepRound() {
 	s.walkPos = -1
 
 	// Phase 0: correlated-failure shocks, so this round's churn and
-	// maintenance already see the damage.
+	// maintenance already see the damage; then restore demand (a flash
+	// crowd typically follows a shock by a few rounds).
 	if len(s.cfg.Shocks) > 0 {
 		s.stepShocks(round)
+	}
+	if s.xfer != nil && len(s.cfg.Restores) > 0 {
+		s.stepRestores(round)
 	}
 
 	// Phase 1: churn events and actor collection. In replay mode the
@@ -580,6 +628,15 @@ func (s *Simulation) stepRound() {
 	}
 	s.walkPos = math.MaxInt32
 
+	// Phase 1.5: due transfer completions, after the churn walk so a
+	// same-round death or offline event wins over the completion (the
+	// transfer aborted or suspended before it could land), before the
+	// maintenance phase so delivered blocks count toward this round's
+	// deficits. Consumes no randomness.
+	if s.xfer != nil {
+		s.stepTransfers(round)
+	}
+
 	// Phase 2: maintenance in random order (the paper randomises peer
 	// execution order each round).
 	s.r.Shuffle(len(s.actors), func(i, j int) {
@@ -595,6 +652,7 @@ func (s *Simulation) stepRound() {
 				Initial:   res.Outcome == maintenance.OutcomeInitialDone,
 				Uploaded:  res.Uploaded,
 				Dropped:   res.Dropped,
+				Elapsed:   round - s.maint.EpisodeStart(id),
 			}
 			for _, pr := range s.dispatch[evRepair] {
 				pr.OnRepair(re)
@@ -677,6 +735,11 @@ func (s *Simulation) visitSlot(round int64, id overlay.PeerID) {
 	// flag is only a candidate marker set at the alive<k crossing;
 	// LostArchive is the verdict.
 	if s.maint.TakeLossCheck(id) && s.maint.LostArchive(id) {
+		if s.xfer != nil {
+			// The in-flight blocks (and any restore) belong to the
+			// abandoned archive; transfers the slot merely hosts live on.
+			s.xferAbortOwner(round, id)
+		}
 		s.maint.ResetArchive(id)
 		ev := s.peerEvent(round, id)
 		for _, pr := range s.dispatch[evHardLoss] {
@@ -723,6 +786,11 @@ func (s *Simulation) replacePeer(id overlay.PeerID, p *peer, round int64) {
 	s.catPop[metrics.Newcomer]++
 	s.led.RemovePeer(id)
 	s.tab.Bump(id)
+	if s.xfer != nil {
+		// Death kills every transfer the peer touched, before the slot's
+		// maintenance state resets and a fresh identity takes it over.
+		s.xferAbortAll(round, id)
+	}
 	s.maint.Reset(id)
 	profile := int(p.profile)
 	if s.cfg.ResampleProfileOnReplace {

@@ -1,0 +1,338 @@
+package sim
+
+// Transfer integration: the bandwidth-aware scheduling layer
+// (internal/transfer) wired into the calendar engine. With
+// Config.Bandwidth set (and not instant), maintenance enqueues block
+// transfers instead of placing instantly; completions are processed as
+// calendar events at the top of each round's maintenance phase, and
+// session flips / deaths suspend, resume or abort the flows they
+// interrupt. Without Bandwidth (and with no Restores) none of this
+// state exists and the engine byte-matches its pre-transfer behaviour.
+
+import (
+	"fmt"
+
+	"p2pbackup/internal/maintenance"
+	"p2pbackup/internal/overlay"
+	"p2pbackup/internal/transfer"
+)
+
+// RestoreSpec schedules a restore-demand event: at Round, each included
+// population peer independently demands its archive back with
+// probability Fraction (local disk crash, or the mass "give me my data"
+// wave after a correlated failure — the flash crowd). A restoring peer
+// downloads k blocks over its downlink; demand on a peer already
+// restoring, or not yet backed up, is dropped.
+type RestoreSpec struct {
+	// Name labels the event in reports.
+	Name string
+	// Round is the demand round.
+	Round int64
+	// Fraction in (0, 1] is the per-peer demand probability.
+	Fraction float64
+}
+
+// Validate checks one restore spec.
+func (sp RestoreSpec) Validate() error {
+	if sp.Fraction <= 0 || sp.Fraction > 1 {
+		return fmt.Errorf("sim: restore %q fraction %v outside (0,1]", sp.Name, sp.Fraction)
+	}
+	if sp.Round < 0 {
+		return fmt.Errorf("sim: restore %q scheduled at negative round %d", sp.Name, sp.Round)
+	}
+	return nil
+}
+
+// xferEntry is one scheduled completion in the engine's min-heap,
+// ordered by (round, tid). Entries are lazily invalidated: a transfer
+// suspended or rescheduled after its entry was pushed leaves the stale
+// entry behind, and the drain loop discards entries whose transfer no
+// longer completes at the recorded round.
+type xferEntry struct {
+	round int64
+	tid   int64
+}
+
+// xferState is the engine-side transfer machinery, allocated only when
+// the config enables bandwidth scheduling or restore demand.
+type xferState struct {
+	sched *transfer.Scheduler
+	heap  []xferEntry
+	// restore maps population slot -> in-flight restore transfer id
+	// (-1 = none): at most one restore per peer.
+	restore []int64
+	// bandwidth is set when the class mix is non-instant: maintenance
+	// routes uploads through the scheduler. Restore-only configs keep
+	// instant placement but still schedule restore downloads.
+	bandwidth bool
+}
+
+// xferLess orders heap entries by (round, tid): tid is the tiebreak
+// that makes same-round completions process in enqueue order.
+func xferLess(a, b xferEntry) bool {
+	if a.round != b.round {
+		return a.round < b.round
+	}
+	return a.tid < b.tid
+}
+
+// xferPush adds a completion entry to the heap.
+func (x *xferState) xferPush(e xferEntry) {
+	x.heap = append(x.heap, e)
+	i := len(x.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !xferLess(x.heap[i], x.heap[parent]) {
+			break
+		}
+		x.heap[i], x.heap[parent] = x.heap[parent], x.heap[i]
+		i = parent
+	}
+}
+
+// xferPop removes and returns the earliest entry.
+func (x *xferState) xferPop() xferEntry {
+	top := x.heap[0]
+	last := len(x.heap) - 1
+	x.heap[0] = x.heap[last]
+	x.heap = x.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(x.heap) && xferLess(x.heap[l], x.heap[small]) {
+			small = l
+		}
+		if r < len(x.heap) && xferLess(x.heap[r], x.heap[small]) {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		x.heap[i], x.heap[small] = x.heap[small], x.heap[i]
+		i = small
+	}
+}
+
+// scheduleXfer records a transfer's (possibly new) completion round.
+func (x *xferState) scheduleXfer(t *transfer.Transfer) {
+	x.xferPush(xferEntry{round: t.CompleteAt, tid: t.ID})
+}
+
+// transferEvent builds the probe payload for a transfer at the given
+// round.
+func transferEvent(round int64, t *transfer.Transfer) TransferEvent {
+	host := -1
+	if t.Kind == transfer.Upload {
+		host = int(t.Host.ID)
+	}
+	return TransferEvent{
+		Round:   round,
+		ID:      t.ID,
+		Kind:    t.Kind,
+		Owner:   int(t.Owner.ID),
+		Host:    host,
+		Blocks:  t.Blocks,
+		Elapsed: round - t.Enqueued,
+	}
+}
+
+// emitTransfer dispatches one transfer lifecycle event.
+func (s *Simulation) emitTransfer(kind int, ev TransferEvent) {
+	for _, pr := range s.dispatch[kind] {
+		switch kind {
+		case evTransferStart:
+			pr.OnTransferStart(ev)
+		case evTransferComplete:
+			pr.OnTransferComplete(ev)
+		case evTransferAbort:
+			pr.OnTransferAbort(ev)
+		}
+	}
+}
+
+// stepRestores fires this round's restore-demand events, before churn
+// so the demand draw order is a pure function of the round. The demand
+// coin is flipped for every population slot in ascending order
+// regardless of eligibility, keeping the rng stream independent of
+// protocol state.
+func (s *Simulation) stepRestores(round int64) {
+	for i := range s.cfg.Restores {
+		sp := &s.cfg.Restores[i]
+		if sp.Round != round {
+			continue
+		}
+		for id := 0; id < s.cfg.NumPeers; id++ {
+			if sp.Fraction < 1 && !s.r.Bool(sp.Fraction) {
+				continue
+			}
+			s.startRestore(round, overlay.PeerID(id))
+		}
+	}
+}
+
+// startRestore enqueues an archive restore for a peer, if it has a
+// complete archive and is not already restoring. An offline demander's
+// download starts suspended and resumes with its session.
+func (s *Simulation) startRestore(round int64, id overlay.PeerID) {
+	x := s.xfer
+	if x.restore[id] >= 0 || !s.maint.Included(id) {
+		return
+	}
+	t := x.sched.EnqueueRestore(round, s.tab.Ref(id), s.cfg.DataBlocks)
+	x.restore[id] = t.ID
+	x.scheduleXfer(t)
+	s.emitTransfer(evTransferStart, transferEvent(round, t))
+	if !s.peers[id].online {
+		x.sched.SuspendPeer(id, round)
+	}
+}
+
+// stepTransfers drains this round's due completions, after the churn
+// walk: a death or offline event in the same round wins over the
+// completion (the transfer aborted or suspended before it could land).
+// Entries are processed in (round, tid) order; stale entries — their
+// transfer suspended, rescheduled or gone — are discarded.
+func (s *Simulation) stepTransfers(round int64) {
+	x := s.xfer
+	for len(x.heap) > 0 && x.heap[0].round <= round {
+		e := x.xferPop()
+		t, ok := x.sched.Get(e.tid)
+		if !ok || t.Suspended || t.CompleteAt != e.round {
+			continue
+		}
+		if t.Kind == transfer.Upload {
+			s.completeUpload(round, t)
+		} else {
+			s.completeRestore(round, t)
+		}
+	}
+}
+
+// completeUpload lands one block: the scheduler releases its
+// reservation, the maintainer places the block, and if it was the
+// episode's last the repair is reported from here (bandwidth mode's
+// equivalent of the instant path's step-time emission).
+func (s *Simulation) completeUpload(round int64, t *transfer.Transfer) {
+	owner, host := t.Owner, t.Host
+	if !s.tab.Current(owner) || !s.tab.Current(host) {
+		// Deaths abort transfers before completions run; a stale
+		// endpoint here means an abort hook was missed.
+		panic(fmt.Sprintf("sim: transfer %d completing with stale endpoint (%d->%d)", t.ID, owner.ID, host.ID))
+	}
+	s.xfer.sched.Complete(t)
+	res, done := s.maint.DeliverUpload(owner.ID, host.ID)
+	s.emitTransfer(evTransferComplete, transferEvent(round, t))
+	if !done {
+		return
+	}
+	re := RepairEvent{
+		PeerEvent: s.peerEvent(round, owner.ID),
+		Initial:   res.Outcome == maintenance.OutcomeInitialDone,
+		Uploaded:  res.Uploaded,
+		Dropped:   res.Dropped,
+		Elapsed:   round - s.maint.EpisodeStart(owner.ID),
+	}
+	for _, pr := range s.dispatch[evRepair] {
+		pr.OnRepair(re)
+	}
+}
+
+// completeRestore finishes an archive download — if enough blocks are
+// visible to decode. A restore that finds fewer than k blocks visible
+// keeps polling: the bits flowed, but the archive cannot be rebuilt
+// until enough partners are back.
+func (s *Simulation) completeRestore(round int64, t *transfer.Transfer) {
+	x := s.xfer
+	id := t.Owner.ID
+	if !s.tab.Current(t.Owner) {
+		panic(fmt.Sprintf("sim: restore %d completing for stale owner %d", t.ID, id))
+	}
+	if s.led.Visible(id) < s.cfg.DataBlocks {
+		x.sched.Retry(t, round)
+		x.scheduleXfer(t)
+		return
+	}
+	x.sched.Complete(t)
+	x.restore[id] = -1
+	s.emitTransfer(evTransferComplete, transferEvent(round, t))
+}
+
+// xferSuspend interrupts the in-flight transfers touching a peer that
+// went offline.
+func (s *Simulation) xferSuspend(round int64, id overlay.PeerID) {
+	s.xfer.sched.SuspendPeer(id, round)
+}
+
+// xferResume re-books the suspended transfers touching a peer that came
+// back online and schedules their new completions.
+func (s *Simulation) xferResume(round int64, id overlay.PeerID) {
+	resumed := s.xfer.sched.ResumePeer(id, round, s.peerOnline)
+	for _, t := range resumed {
+		s.xfer.scheduleXfer(t)
+	}
+}
+
+// peerOnline reports a population slot's session state (the scheduler's
+// resume predicate).
+func (s *Simulation) peerOnline(id overlay.PeerID) bool { return s.peers[id].online }
+
+// xferAbortAll kills every transfer touching a departing peer and
+// reports the aborts. A restore the departed peer owned is gone with
+// it.
+func (s *Simulation) xferAbortAll(round int64, id overlay.PeerID) {
+	x := s.xfer
+	for _, t := range x.sched.AbortPeer(id) {
+		if t.Kind == transfer.Restore {
+			x.restore[t.Owner.ID] = -1
+		}
+		s.emitTransfer(evTransferAbort, transferEvent(round, t))
+	}
+}
+
+// xferAbortOwner kills the transfers a slot owns (hard loss: the
+// in-flight blocks belong to the abandoned archive), leaving transfers
+// it merely hosts intact.
+func (s *Simulation) xferAbortOwner(round int64, id overlay.PeerID) {
+	x := s.xfer
+	for _, t := range x.sched.AbortOwner(id) {
+		if t.Kind == transfer.Restore {
+			x.restore[t.Owner.ID] = -1
+		}
+		s.emitTransfer(evTransferAbort, transferEvent(round, t))
+	}
+}
+
+// simXfer adapts the simulation to maintenance.Transfers without an
+// extra allocation per call. Only installed when the class mix is
+// non-instant.
+type simXfer Simulation
+
+// BeginUpload implements maintenance.Transfers: enqueue one block on
+// the owner's uplink and schedule its completion.
+func (e *simXfer) BeginUpload(owner overlay.PeerID, host overlay.Ref) {
+	s := (*Simulation)(e)
+	t := s.xfer.sched.EnqueueUpload(s.round, s.tab.Ref(owner), host)
+	s.xfer.scheduleXfer(t)
+	s.emitTransfer(evTransferStart, transferEvent(s.round, t))
+}
+
+// Inflight implements maintenance.Transfers.
+func (e *simXfer) Inflight(owner overlay.PeerID) int {
+	return (*Simulation)(e).xfer.sched.Inflight(owner)
+}
+
+// UploadSlots implements maintenance.Transfers.
+func (e *simXfer) UploadSlots(owner overlay.PeerID) int {
+	return (*Simulation)(e).xfer.sched.UploadSlots(owner)
+}
+
+// Reserved implements maintenance.Transfers.
+func (e *simXfer) Reserved(host overlay.PeerID) int {
+	return (*Simulation)(e).xfer.sched.Reserved(host)
+}
+
+// PendingHosts implements maintenance.Transfers.
+func (e *simXfer) PendingHosts(owner overlay.PeerID, buf []overlay.PeerID) []overlay.PeerID {
+	return (*Simulation)(e).xfer.sched.PendingHosts(owner, buf)
+}
