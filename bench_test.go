@@ -292,6 +292,49 @@ func BenchmarkChurnRound(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedChurnRound measures the sharded engine's scaling
+// curve: steady-state rounds under the paper's churn mix at large
+// populations, across shard counts. The code shape is thin (32/16,
+// short horizon) so the 1M-peer population fits in CI memory; the
+// short warmup still clears the shortened monitoring window. S=1 is
+// the sequential baseline — the sharded engine guarantees bit-equal
+// results at every S, so the deltas here are pure speedup. The 1M
+// populations are skipped under -short (bench smoke runs them at 1x
+// only on full runs).
+func BenchmarkShardedChurnRound(b *testing.B) {
+	for _, peers := range []int{100000, 1000000} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("peers=%d/shards=%d", peers, shards), func(b *testing.B) {
+				if testing.Short() && peers > 100000 {
+					b.Skip("1M-peer population skipped with -short")
+				}
+				cfg := sim.DefaultConfig()
+				cfg.NumPeers = peers
+				cfg.TotalBlocks = 32
+				cfg.DataBlocks = 16
+				cfg.RepairThreshold = 20
+				cfg.Quota = 96
+				cfg.PoolSamplePerRound = 32
+				cfg.AcceptHorizon = 72
+				cfg.Shards = shards
+				const warmup = 120 // past the shortened monitoring window
+				cfg.Rounds = int64(b.N) + warmup
+				s, err := sim.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < warmup; i++ {
+					s.StepRound()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for s.StepRound() {
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTransferRound measures the per-round engine cost with the
 // transfer scheduler engaged: the paper's churn mix at paper scale over
 // the skewed bandwidth population, so every repair is an in-flight

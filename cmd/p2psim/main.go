@@ -42,6 +42,13 @@
 // variant. When any run records backup or restore episodes, the final
 // report includes time-to-backup/time-to-restore distribution lines.
 //
+// -shards runs every simulation's shardable phases (availability
+// history application, selection cache warming, final accounting) on
+// that many workers. Results are bit-identical at every shard count —
+// it is purely a speed knob, composing with -parallel, which runs
+// whole variants concurrently; prefer -parallel while the campaign has
+// more variants than cores, -shards when a few big runs dominate.
+//
 // Scales: smoke (600 peers, 20k rounds), default (2,500 peers, 50k
 // rounds), paper (25,000 peers, 50k rounds - slow). The replay
 // experiment takes its population and length from the trace instead.
@@ -95,6 +102,7 @@ func run() int {
 	trace := flag.String("trace", "", "churn trace (CSV/JSONL) for -exp replay / ablation-estimator")
 	strategy := flag.String("strategy", "", "partner-selection strategy spec, e.g. age:L=2160, estimator:pareto, monitored-availability:720 (default: the paper's age strategy)")
 	bandwidth := flag.String("bandwidth", "", "bandwidth class spec: "+strings.Join(transfer.Presets(), " ")+", or name:prop:up/down[:inflight];... (default: the paper's instant placement)")
+	shards := flag.Int("shards", 0, "per-simulation shard workers for the engine's parallel phases; 0 or 1 = sequential, results are identical at every value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole campaign to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit (go tool pprof)")
 	flag.Parse()
@@ -140,6 +148,7 @@ func run() int {
 		TracePath:    *trace,
 		StrategySpec: *strategy,
 		Bandwidth:    *bandwidth,
+		Shards:       *shards,
 	}
 	if !*quiet {
 		opts.Progress = func(msg string) {

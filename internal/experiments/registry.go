@@ -39,6 +39,13 @@ type Options struct {
 	// (transfer-baseline, flashcrowd, uplink-sweep) override it per
 	// variant.
 	Bandwidth string
+	// Shards sets sim.Config.Shards on every variant: 0 or 1 keeps the
+	// sequential engine, >= 2 runs each simulation's shardable phases on
+	// that many workers. Results are bit-identical at every value (the
+	// sharded engine's equivalence guarantee), so this is purely a
+	// speed/parallelism knob, composing with Parallelism, which runs
+	// whole variants concurrently.
+	Shards int
 	// Progress receives plain-text progress messages (heartbeats and
 	// per-variant completions).
 	Progress func(string)
@@ -158,6 +165,7 @@ func baseFor(opts Options) (sim.Config, error) {
 		return cfg, err
 	}
 	cfg.Seed = opts.Seed
+	cfg.Shards = opts.Shards
 	if opts.StrategySpec != "" {
 		// Parse eagerly so a typo fails before any simulation runs.
 		if _, err := selection.ParseWith(opts.StrategySpec, selection.Defaults{Horizon: cfg.AcceptHorizon}); err != nil {

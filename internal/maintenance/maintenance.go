@@ -341,6 +341,33 @@ func (m *Maintainer) InvalidateScore(id overlay.PeerID) {
 	}
 }
 
+// WarmScoreRange precomputes the per-round score memo for the slots in
+// [from, to), reading each slot's view through the supplied accessor.
+// A no-op when the score cache is disabled (stateful policies must be
+// re-evaluated per call and cannot be warmed).
+//
+// Concurrency contract: the simulation engine's sharded warm phase
+// calls WarmScoreRange from one goroutine per disjoint slot range, so
+// the method writes only the memo entries of its own range and the
+// policy's Score must be safe for concurrent calls — guaranteed for
+// policies declaring selection.HasPureScore (purity is what enabled
+// the cache in the first place), which is the only case the memo
+// exists for. Warming computes exactly the values the lazy scoreOf
+// misses would, so it never changes a trajectory.
+func (m *Maintainer) WarmScoreRange(ctx selection.Context, from, to overlay.PeerID, view func(overlay.PeerID) selection.View) {
+	if m.scoreKey == nil {
+		return
+	}
+	key := ctx.Round + 1
+	for c := from; c < to; c++ {
+		if m.scoreKey[c] == key {
+			continue
+		}
+		m.scoreVal[c] = m.pol.Score(ctx, view(c))
+		m.scoreKey[c] = key
+	}
+}
+
 // scoreOf returns the policy score of candidate c with view v, through
 // the (slot, round) memo when enabled.
 func (m *Maintainer) scoreOf(ctx selection.Context, c overlay.PeerID, v selection.View) float64 {

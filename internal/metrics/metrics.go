@@ -369,6 +369,50 @@ func (c *Collector) EndRound(round int64, population [NumCategories]int64) {
 	}
 }
 
+// Merge folds other's counters into c: per-category counts,
+// per-profile totals, shock accounting, the time-to-backup/restore
+// distributions and the failed-restore count. Both collectors must
+// have been built for the same number of profiles. The per-run time
+// series (LossSeries, RepairSeries) are trajectories of single runs
+// and are deliberately not merged — aggregating those across seeds is
+// a statistics question (see internal/stats) that the collector does
+// not answer; c keeps its own.
+//
+// Merge is what makes collectors shard- and variant-combinable: a
+// campaign can run per-shard or per-seed collectors and fold them into
+// one aggregate whose rate accessors (RepairRatePer1000 and friends)
+// then report pooled numerators over pooled denominators.
+func (c *Collector) Merge(other *Collector) {
+	if len(c.profRepairs) != len(other.profRepairs) {
+		panic(fmt.Sprintf("metrics: merging collectors with %d and %d profiles",
+			len(c.profRepairs), len(other.profRepairs)))
+	}
+	for i := range c.cats {
+		a, b := &c.cats[i], &other.cats[i]
+		a.PeerRounds += b.PeerRounds
+		a.Repairs += b.Repairs
+		a.InitialBackups += b.InitialBackups
+		a.Outages += b.Outages
+		a.HardLosses += b.HardLosses
+		a.StalledRounds += b.StalledRounds
+		a.BlocksUploaded += b.BlocksUploaded
+		a.BlocksDropped += b.BlocksDropped
+	}
+	for i := range c.profRepairs {
+		c.profRepairs[i] += other.profRepairs[i]
+		c.profLosses[i] += other.profLosses[i]
+	}
+	c.shocks += other.shocks
+	c.shockVictims += other.shockVictims
+	c.shockLosses += other.shockLosses
+	if other.lastShock > c.lastShock {
+		c.lastShock = other.lastShock
+	}
+	c.ttb.Merge(&other.ttb)
+	c.ttr.Merge(&other.ttr)
+	c.restoresFailed += other.restoresFailed
+}
+
 // Counts returns the aggregate counters for a category.
 func (c *Collector) Counts(cat Category) Counts { return c.cats[cat] }
 

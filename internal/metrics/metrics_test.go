@@ -230,3 +230,72 @@ func TestCollectorShockAttribution(t *testing.T) {
 			c.ShockVictims(), c.ShockAttributedLosses())
 	}
 }
+
+func TestCollectorMerge(t *testing.T) {
+	a := NewCollector(2, 24, 0)
+	a.AddPeerRounds(0, Newcomer, 100)
+	a.RecordRepair(1, Newcomer, 0, false, 5, 1)
+	a.RecordRepair(2, Young, 1, true, 32, 0)
+	a.RecordOutage(3, Newcomer, 0)
+	a.RecordHardLoss(4, Newcomer, 0)
+	a.RecordStall(5, Old)
+	a.RecordBackupTime(6, 3)
+	a.RecordRestoreFailed(7)
+
+	b := NewCollector(2, 24, 0)
+	b.AddPeerRounds(0, Newcomer, 50)
+	b.RecordRepair(1, Newcomer, 1, false, 7, 2)
+	b.RecordOutage(2, Young, 1)
+	b.RecordShock(10, 9)
+	b.RecordOutage(11, Young, 1) // inside b's shock window
+	b.RecordBackupTime(12, 5)
+	b.RecordRestoreTime(13, 4)
+
+	a.Merge(b)
+	nc := a.Counts(Newcomer)
+	if nc.PeerRounds != 150 || nc.Repairs != 2 || nc.Outages != 1 || nc.HardLosses != 1 ||
+		nc.BlocksUploaded != 12 || nc.BlocksDropped != 3 {
+		t.Fatalf("merged newcomer counts = %+v", nc)
+	}
+	yc := a.Counts(Young)
+	if yc.InitialBackups != 1 || yc.Outages != 2 || yc.BlocksUploaded != 32 {
+		t.Fatalf("merged young counts = %+v", yc)
+	}
+	if a.Counts(Old).StalledRounds != 1 {
+		t.Fatal("stalled rounds lost in merge")
+	}
+	if r := a.ProfileRepairs(); r[0] != 1 || r[1] != 2 {
+		t.Fatalf("merged profile repairs = %v", r)
+	}
+	if l := a.ProfileLosses(); l[0] != 1 || l[1] != 2 {
+		t.Fatalf("merged profile losses = %v", l)
+	}
+	if a.TotalShocks() != 1 || a.ShockVictims() != 9 || a.ShockAttributedLosses() != 1 {
+		t.Fatalf("merged shocks=%d victims=%d attributed=%d",
+			a.TotalShocks(), a.ShockVictims(), a.ShockAttributedLosses())
+	}
+	// The merged lastShock must keep attributing losses near b's shock.
+	a.RecordOutage(12, Elder, 0)
+	if a.ShockAttributedLosses() != 2 {
+		t.Fatal("merge did not adopt the later shock round")
+	}
+	if a.TimeToBackup().N() != 2 || a.TimeToBackup().Mean() != 4 {
+		t.Fatalf("merged ttb n=%d mean=%v", a.TimeToBackup().N(), a.TimeToBackup().Mean())
+	}
+	if a.TimeToRestore().N() != 1 || a.RestoresFailed() != 1 {
+		t.Fatalf("merged ttr n=%d restoresFailed=%d", a.TimeToRestore().N(), a.RestoresFailed())
+	}
+	// Pooled rates: numerators and denominators both pooled.
+	if got := a.RepairRatePer1000(Newcomer, false); got != 2.0/150*1000 {
+		t.Fatalf("pooled repair rate = %v", got)
+	}
+}
+
+func TestCollectorMergeProfileMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched profile counts did not panic")
+		}
+	}()
+	NewCollector(2, 24, 0).Merge(NewCollector(3, 24, 0))
+}

@@ -273,3 +273,53 @@ func TestUint64nEdge(t *testing.T) {
 		r.Uint64n(0)
 	}()
 }
+
+func TestDeriveDeterministic(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, ^uint64(0)} {
+		for idx := uint64(0); idx < 16; idx++ {
+			if Derive(seed, idx) != Derive(seed, idx) {
+				t.Fatalf("Derive(%d, %d) is not deterministic", seed, idx)
+			}
+		}
+	}
+}
+
+func TestDeriveDistinctStreams(t *testing.T) {
+	// Derived seeds must be pairwise distinct across neighbouring
+	// indices and seeds, and the streams they seed must diverge: a
+	// collision would give two shards (or two variants) the same
+	// randomness.
+	seen := make(map[uint64][2]uint64)
+	for _, seed := range []uint64{0, 1, 2, 42, 1 << 32} {
+		for idx := uint64(0); idx < 64; idx++ {
+			d := Derive(seed, idx)
+			if prev, dup := seen[d]; dup {
+				t.Fatalf("Derive collision: (%d,%d) and (%d,%d) -> %#x", seed, idx, prev[0], prev[1], d)
+			}
+			seen[d] = [2]uint64{seed, idx}
+		}
+	}
+	a, b := New(Derive(7, 0)), New(Derive(7, 1))
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("neighbouring derived streams matched on %d of 64 draws", same)
+	}
+}
+
+func TestDeriveIndependentOfChild(t *testing.T) {
+	// Derive must not alias the Child chain of New(seed): shard streams
+	// and the engine's canonical stream come from the same base seed.
+	r := New(9)
+	child := r.Child()
+	derived := New(Derive(9, 0))
+	for i := 0; i < 16; i++ {
+		if child.Uint64() == derived.Uint64() {
+			t.Fatal("Derive(seed, 0) stream aliases New(seed).Child()")
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package selection
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary spec strings at the strategy registry.
+// Parse is the CLI's entry point (-strategy flag), so every input must
+// either resolve to a usable policy or return an error — never panic,
+// and never return a nil policy without one.
+func FuzzParse(f *testing.F) {
+	for _, name := range Names() {
+		f.Add(name)
+	}
+	for _, s := range []string{
+		"",
+		"age:L=2160",
+		"age:2160",
+		"estimator:pareto:alpha=1.5,xm=24",
+		"estimator:empirical:n=256",
+		"monitored-availability:720",
+		"monitored-availability:window=720",
+		"age:L=",
+		"age:L=abc",
+		"age:L=2160,L=2160",
+		"estimator",
+		"no-such-strategy",
+		"age:unknown=1",
+		":::",
+		"age:,",
+		"age:=5",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		pol, err := Parse(spec)
+		if err != nil {
+			if pol != nil {
+				t.Fatalf("Parse(%q) returned both a policy and error %v", spec, err)
+			}
+			return
+		}
+		if pol == nil {
+			t.Fatalf("Parse(%q) returned nil policy without error", spec)
+		}
+		// Accepted specs must parse identically a second time (the
+		// registry is stateless) and under explicit defaults.
+		if _, err := Parse(spec); err != nil {
+			t.Fatalf("Parse(%q) succeeded then failed: %v", spec, err)
+		}
+		if _, err := ParseWith(spec, Defaults{Horizon: 48}); err != nil &&
+			!strings.Contains(err.Error(), "horizon") {
+			t.Fatalf("ParseWith(%q) diverged from Parse: %v", spec, err)
+		}
+	})
+}

@@ -37,6 +37,15 @@ type Config struct {
 	Rounds int64
 	// Seed drives all randomness; equal seeds give identical runs.
 	Seed uint64
+	// Shards is the worker count of the sharded engine: the slot space
+	// is partitioned into Shards contiguous ranges and the engine's
+	// draw-free phases (availability-history application, view/score
+	// cache warming, the final inclusion scan) fan out across them,
+	// merged back deterministically. Results are bit-identical at every
+	// value — see the v2 rng-order invariant in the package comment. 0
+	// or 1 runs the historical sequential path; values above the slot
+	// count are allowed (the excess shards own empty ranges).
+	Shards int
 
 	// TotalBlocks (n), DataBlocks (k): erasure-code shape. Paper: 256/128.
 	TotalBlocks int
@@ -251,6 +260,9 @@ func (c Config) Validate() (Config, error) {
 				return c, err
 			}
 		}
+	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("sim: Shards = %d must be >= 0", c.Shards)
 	}
 	if c.NumPeers < 2 {
 		return c, fmt.Errorf("sim: NumPeers = %d too small", c.NumPeers)

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestShardedConcurrentRuns hammers the sharded engine from many
+// goroutines at once: several independent simulations, each internally
+// fanning out per-shard workers, all running concurrently in one
+// process. Under -race this is the detector's food — the per-shard
+// phases (hist-op application, cache warming, the Included scan) must
+// neither race each other inside one run nor share anything across
+// runs. Every run must still produce the canonical digest.
+func TestShardedConcurrentRuns(t *testing.T) {
+	cfg := digestConfig()
+	cfg.NumPeers = 1200 // large enough to cross the hist-op fan-out threshold
+	cfg.Rounds = 200
+	cfg.Shocks = []ShockSpec{
+		{Name: "blackout", Round: 60, Fraction: 1.0, Outage: 24},
+	}
+	ref := cfg
+	ref.Shards = 1
+	want := digestRun(t, ref)
+
+	const runs = 8
+	digests := make([]uint64, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run := cfg
+			run.Shards = 2 + i%7 // S in [2, 8]
+			d := newDigestProbe()
+			run.Probes = append(run.Probes, d)
+			s, err := New(run)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res := s.Run()
+			d.mix(res.Deaths, res.Cancels, int64(res.FinalPlacements), int64(res.FinalIncluded))
+			digests[i] = d.h.Sum64()
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range digests {
+		if errs[i] != nil {
+			t.Errorf("concurrent run %d: %v", i, errs[i])
+			continue
+		}
+		if got != want {
+			t.Errorf("concurrent run %d (S=%d) digest = %#x, want %#x", i, 2+i%7, got, want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"testing"
+
+	"p2pbackup/internal/overlay"
+	"p2pbackup/internal/transfer"
+)
+
+// Shard boundary conditions. The sharded engine's phases partition the
+// slot space, so the interesting cases are the ones the partition can
+// get wrong: more shards than slots, protocol edges that couple slots
+// on opposite sides of a shard boundary, and same-round orderings
+// between a death in one shard and a transfer delivery into another.
+
+// abortProbe counts transfer aborts, the signature of a death (or
+// session drop) racing a delivery within one round.
+type abortProbe struct {
+	BaseProbe
+	aborts, completes int
+}
+
+func (p *abortProbe) ProbeEvents() EventSet {
+	return EventTransferAbort | EventTransferComplete
+}
+func (p *abortProbe) OnTransferAbort(TransferEvent)    { p.aborts++ }
+func (p *abortProbe) OnTransferComplete(TransferEvent) { p.completes++ }
+
+// TestShardEdgeCases is the table: each case builds a scenario
+// exercising one boundary condition, asserts the scenario actually hit
+// the condition, and requires digest equality between S=1 and a
+// boundary-hostile shard count.
+func TestShardEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		shards []int
+		cfg    func(t *testing.T) Config
+		// verify runs a fresh sharded simulation (the digest runs are
+		// opaque) and asserts the scenario exercised its edge.
+		verify func(t *testing.T, cfg Config)
+	}{
+		{
+			// Shard count far above the slot count: most shards own
+			// empty ranges and every phase must still cover [0, N).
+			name:   "shards-exceed-slots",
+			shards: []int{64, 1000},
+			cfg: func(t *testing.T) Config {
+				cfg := digestConfig()
+				cfg.NumPeers = 40
+				cfg.TotalBlocks = 16
+				cfg.DataBlocks = 8
+				cfg.RepairThreshold = 10
+				cfg.Rounds = 200
+				return cfg
+			},
+			verify: nil,
+		},
+		{
+			// A repairing owner in the first shard placing blocks on
+			// hosts in the last shard (and vice versa): placements and
+			// quota accounting must not care about the boundary.
+			name:   "cross-shard-repair-endpoints",
+			shards: []int{2},
+			cfg:    func(t *testing.T) Config { return digestConfig() },
+			verify: func(t *testing.T, cfg Config) {
+				cfg.Shards = 2
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.Run()
+				boundary := overlay.PeerID(cfg.NumPeers / 2)
+				led := s.Ledger()
+				var buf []overlay.PeerID
+				lowHigh, highLow := 0, 0
+				for id := 0; id < cfg.NumPeers; id++ {
+					owner := overlay.PeerID(id)
+					buf = led.Hosts(owner, buf[:0])
+					for _, h := range buf {
+						switch {
+						case owner < boundary && h >= boundary:
+							lowHigh++
+						case owner >= boundary && h < boundary:
+							highLow++
+						}
+					}
+				}
+				if lowHigh == 0 || highLow == 0 {
+					t.Fatalf("no cross-shard placements (low->high %d, high->low %d); scenario does not exercise the boundary", lowHigh, highLow)
+				}
+			},
+		},
+		{
+			// Same-round death-vs-delivery ordering across shards: under
+			// bandwidth scheduling with kill shocks, a peer dying in the
+			// churn walk must abort in-flight transfers before the
+			// completion phase can land them, whichever shard either
+			// endpoint lives in.
+			name:   "cross-shard-death-vs-delivery",
+			shards: []int{2, 8},
+			cfg: func(t *testing.T) Config {
+				cfg := digestConfig()
+				bw, err := transfer.Parse("dsl")
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Bandwidth = bw
+				cfg.Shocks = []ShockSpec{
+					{Name: "attrition", Rate: 0.05, Fraction: 0.3, Regions: 2, Kill: true},
+				}
+				return cfg
+			},
+			verify: func(t *testing.T, cfg Config) {
+				cfg.Shards = 2
+				probe := &abortProbe{}
+				cfg.Probes = append(cfg.Probes, probe)
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.Run()
+				if probe.aborts == 0 || probe.completes == 0 {
+					t.Fatalf("aborts=%d completes=%d; scenario does not race deaths against deliveries", probe.aborts, probe.completes)
+				}
+			},
+		},
+		{
+			// A mass same-round flip wave large enough to cross the
+			// hist-op fan-out threshold, so the parallel application
+			// path (not the small-log inline path) is what must match.
+			name:   "hist-op-fanout",
+			shards: []int{2, 5},
+			cfg: func(t *testing.T) Config {
+				cfg := digestConfig()
+				cfg.NumPeers = 1200
+				cfg.Rounds = 200
+				cfg.Shocks = []ShockSpec{
+					{Name: "blackout", Round: 60, Fraction: 1.0, Outage: 24},
+					{Name: "second-wave", Round: 130, Fraction: 0.9, Outage: 12},
+				}
+				return cfg
+			},
+			verify: func(t *testing.T, cfg Config) {
+				// The full-population blackout alone logs ~online-count
+				// ops in round 60, far above histOpFanoutMin.
+				if int(float64(cfg.NumPeers)*0.5) < histOpFanoutMin {
+					t.Fatalf("scenario too small to cross the fan-out threshold (%d)", histOpFanoutMin)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg(t)
+			ref := cfg
+			ref.Shards = 1
+			want := digestRun(t, ref)
+			for _, shards := range tc.shards {
+				run := cfg
+				run.Shards = shards
+				if got := digestRun(t, run); got != want {
+					t.Errorf("S=%d digest = %#x, want %#x", shards, got, want)
+				}
+			}
+			if tc.verify != nil {
+				tc.verify(t, cfg)
+			}
+		})
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./tools/benchjson                       # BENCH_6.json, engine benches
+//	go run ./tools/benchjson                       # BENCH_7.json, engine benches
 //	go run ./tools/benchjson -out snap.json -benchtime 500x
 //	go run ./tools/benchjson -bench 'BenchmarkSimRound|BenchmarkQuiescentRound'
 //	go run ./tools/benchjson -out new.json -compare BENCH_5.json
@@ -61,16 +61,22 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output JSON file")
-	bench := flag.String("bench", "BenchmarkQuiescentRound|BenchmarkChurnRound|BenchmarkSimRound|BenchmarkTransferRound|BenchmarkFlashCrowdRound|BenchmarkLedgerSessionFlip|BenchmarkMaintainerStep|BenchmarkUptime|BenchmarkViewScore",
+	out := flag.String("out", "BENCH_7.json", "output JSON file")
+	bench := flag.String("bench", "BenchmarkQuiescentRound|BenchmarkChurnRound|BenchmarkShardedChurnRound|BenchmarkSimRound|BenchmarkTransferRound|BenchmarkFlashCrowdRound|BenchmarkLedgerSessionFlip|BenchmarkMaintainerStep|BenchmarkUptime|BenchmarkViewScore",
 		"benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "200x", "go test -benchtime value (fixed counts keep snapshots comparable)")
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	compare := flag.String("compare", "", "baseline snapshot JSON to diff against (exit nonzero on regression)")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs the -compare baseline")
+	short := flag.Bool("short", false, "pass -short to go test (skips the benchmarks' largest populations)")
+	timeout := flag.String("timeout", "60m", "go test -timeout value (the full bench set outgrew the 10m default)")
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem", *pkg)
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem", "-timeout", *timeout}
+	if *short {
+		args = append(args, "-short")
+	}
+	cmd := exec.Command("go", append(args, *pkg)...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {
