@@ -292,6 +292,36 @@ func BenchmarkChurnRound(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveChurnRound measures what the adaptive redundancy
+// layer adds to the steady-state churn round at paper scale: the same
+// population and warmup as BenchmarkChurnRound, run under the fixed
+// policy (the engine's historical fast path — the redundancy phase is
+// never entered) and under the adaptive default (one policy evaluation
+// per archive per day plus the grow/shrink traffic it decides). The
+// fixed arm must match BenchmarkChurnRound within noise; the adaptive
+// arm's delta is the whole subsystem's runtime bill.
+func BenchmarkAdaptiveChurnRound(b *testing.B) {
+	for _, policy := range []string{"fixed", "adaptive"} {
+		b.Run("policy="+policy, func(b *testing.B) {
+			cfg := sim.DefaultConfig() // the paper's 25,000 peers
+			cfg.RedundancySpec = policy
+			const warmup = 2600
+			cfg.Rounds = int64(b.N) + warmup
+			s, err := sim.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < warmup; i++ {
+				s.StepRound()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for s.StepRound() {
+			}
+		})
+	}
+}
+
 // BenchmarkShardedChurnRound measures the sharded engine's scaling
 // curve: steady-state rounds under the paper's churn mix at large
 // populations, across shard counts. The code shape is thin (32/16,

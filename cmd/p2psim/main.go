@@ -24,7 +24,10 @@
 // required; generate traces with cmd/tracegen), transfer-baseline
 // (bandwidth presets compared on identical populations), flashcrowd
 // (mid-run blackout followed by mass restore demand), uplink-sweep
-// (budget-mode baseline vs DSL-class uplinks from 0.25x to 4x), all.
+// (budget-mode baseline vs DSL-class uplinks from 0.25x to 4x),
+// fixed-vs-adaptive (the paper's fixed n-per-archive provisioning vs
+// the adaptive redundancy policy under i.i.d., diurnal, shock and
+// replayed churn, with storage-overhead and parity-cost columns), all.
 //
 // -strategy overrides the partner-selection strategy of the base
 // configuration with a spec string from the selection registry: age,
@@ -41,6 +44,16 @@
 // flashcrowd, uplink-sweep) sweep the mix themselves and ignore it per
 // variant. When any run records backup or restore episodes, the final
 // report includes time-to-backup/time-to-restore distribution lines.
+//
+// -redundancy sets the per-archive redundancy policy of the base
+// configuration with a spec string from the redundancy registry:
+// fixed (the paper's constant n), or
+// adaptive:min=M,max=M2,target=P[,hysteresis=H,eval=E,sample=S] to
+// retune each archive's parity count online from monitored partner
+// availability. The fixed-vs-adaptive campaign sweeps the policy
+// itself and uses this spec as its adaptive arm. When any run grew or
+// shrank archives, the final report includes a redundancy line with
+// the parity traffic and its upload cost on the paper's DSL link.
 //
 // -shards runs every simulation's shardable phases (availability
 // history application, selection cache warming, final accounting) on
@@ -81,6 +94,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p2pbackup/internal/costmodel"
 	"p2pbackup/internal/experiments"
 	"p2pbackup/internal/metrics"
 	"p2pbackup/internal/transfer"
@@ -102,6 +116,7 @@ func run() int {
 	trace := flag.String("trace", "", "churn trace (CSV/JSONL) for -exp replay / ablation-estimator")
 	strategy := flag.String("strategy", "", "partner-selection strategy spec, e.g. age:L=2160, estimator:pareto, monitored-availability:720 (default: the paper's age strategy)")
 	bandwidth := flag.String("bandwidth", "", "bandwidth class spec: "+strings.Join(transfer.Presets(), " ")+", or name:prop:up/down[:inflight];... (default: the paper's instant placement)")
+	redundancySpec := flag.String("redundancy", "", "redundancy policy spec: fixed, or adaptive:min=M,max=M2,target=P[,hysteresis=H,eval=E,sample=S] (default: the paper's fixed n per archive)")
 	shards := flag.Int("shards", 0, "per-simulation shard workers for the engine's parallel phases; 0 or 1 = sequential, results are identical at every value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole campaign to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit (go tool pprof)")
@@ -148,6 +163,7 @@ func run() int {
 		TracePath:    *trace,
 		StrategySpec: *strategy,
 		Bandwidth:    *bandwidth,
+		Redundancy:   *redundancySpec,
 		Shards:       *shards,
 	}
 	if !*quiet {
@@ -166,6 +182,10 @@ func run() int {
 		durMu          sync.Mutex
 		ttb, ttr       metrics.Durations
 		restoresFailed int64
+
+		redunGrows, redunShrinks     int64
+		parityAdded, parityReclaimed int64
+		parityCostHours              float64
 	)
 	opts.Events = func(ev experiments.Event) {
 		if ev.Kind != experiments.EventRow || ev.Row == nil {
@@ -177,6 +197,21 @@ func run() int {
 		ttb.Merge(col.TimeToBackup())
 		ttr.Merge(col.TimeToRestore())
 		restoresFailed += col.RestoresFailed()
+		redunGrows += col.RedundancyGrows()
+		redunShrinks += col.RedundancyShrinks()
+		parityReclaimed += col.ParityBlocksReclaimed()
+		if added := col.ParityBlocksAdded(); added > 0 {
+			parityAdded += added
+			cfg := ev.Row.Config
+			code := costmodel.Code{
+				ArchiveBytes: 128 * costmodel.MB,
+				K:            cfg.DataBlocks,
+				M:            cfg.TotalBlocks - cfg.DataBlocks,
+			}
+			if per, err := costmodel.ParityUploadCost(code, 1, costmodel.DSL2009()); err == nil {
+				parityCostHours += per.Hours() * float64(added)
+			}
+		}
 		durMu.Unlock()
 	}
 	start := time.Now()
@@ -208,6 +243,10 @@ func run() int {
 	}
 	if ttr.N() > 0 || restoresFailed > 0 {
 		fmt.Fprintf(os.Stderr, "time-to-restore: %s, %d failed\n", durationLine(&ttr), restoresFailed)
+	}
+	if redunGrows > 0 || redunShrinks > 0 {
+		fmt.Fprintf(os.Stderr, "redundancy: %d grows / %d shrinks, +%d/-%d parity blocks, grow upload ~%.0fh on the 2009 DSL uplink\n",
+			redunGrows, redunShrinks, parityAdded, parityReclaimed, parityCostHours)
 	}
 	return 0
 }

@@ -109,6 +109,26 @@ func EstimateRepair(l Link, c Code, d int) (RepairCost, error) {
 	}, nil
 }
 
+// ParityUploadCost prices adding delta parity blocks to an existing
+// archive: the owner already holds the data, so there is no decode
+// download — only the section-2.2.4 upload term, delta blocks pushed up
+// the link. This is the formula the adaptive redundancy policy charges
+// a grow decision with; it agrees exactly with EstimateRepair's Upload
+// component (pinned by a test).
+func ParityUploadCost(c Code, delta int, l Link) (time.Duration, error) {
+	if l.UploadBps <= 0 {
+		return 0, ErrBadLink
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if delta < 0 || delta > c.N() {
+		return 0, fmt.Errorf("costmodel: delta = %d outside [0, n=%d]", delta, c.N())
+	}
+	up := float64(delta) * float64(c.BlockBytes()) / l.UploadBps
+	return time.Duration(up * float64(time.Second)), nil
+}
+
 // MaxRepairsPerDay returns how many worst-case repairs (d blocks each)
 // the link can sustain per day, transfers back to back.
 func MaxRepairsPerDay(l Link, c Code, d int) (float64, error) {

@@ -143,3 +143,39 @@ func TestPaperTable(t *testing.T) {
 		}
 	}
 }
+
+func TestParityUploadCostAgreesWithEstimateRepair(t *testing.T) {
+	code := PaperCode()
+	for _, link := range []Link{DSL2009(), FTTH2009()} {
+		for _, delta := range []int{0, 1, 20, 128, code.N()} {
+			got, err := ParityUploadCost(code, delta, link)
+			if err != nil {
+				t.Fatalf("ParityUploadCost(delta=%d): %v", delta, err)
+			}
+			rc, err := EstimateRepair(link, code, delta)
+			if err != nil {
+				t.Fatalf("EstimateRepair(d=%d): %v", delta, err)
+			}
+			if got != rc.Upload {
+				t.Fatalf("delta=%d link=%+v: ParityUploadCost=%v, EstimateRepair.Upload=%v",
+					delta, link, got, rc.Upload)
+			}
+		}
+	}
+}
+
+func TestParityUploadCostErrors(t *testing.T) {
+	code := PaperCode()
+	if _, err := ParityUploadCost(code, -1, DSL2009()); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+	if _, err := ParityUploadCost(code, code.N()+1, DSL2009()); err == nil {
+		t.Fatal("delta > n accepted")
+	}
+	if _, err := ParityUploadCost(code, 1, Link{UploadBps: 0, DownloadBps: 1}); err == nil {
+		t.Fatal("zero upload rate accepted")
+	}
+	if _, err := ParityUploadCost(Code{ArchiveBytes: 0, K: 1}, 1, DSL2009()); err == nil {
+		t.Fatal("invalid code accepted")
+	}
+}

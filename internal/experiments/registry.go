@@ -9,6 +9,7 @@ import (
 
 	"p2pbackup/internal/churn"
 	"p2pbackup/internal/costmodel"
+	"p2pbackup/internal/redundancy"
 	"p2pbackup/internal/selection"
 	"p2pbackup/internal/sim"
 	"p2pbackup/internal/transfer"
@@ -39,6 +40,12 @@ type Options struct {
 	// (transfer-baseline, flashcrowd, uplink-sweep) override it per
 	// variant.
 	Bandwidth string
+	// Redundancy, when non-empty, sets the base config's per-archive
+	// redundancy policy ("fixed", "adaptive:min=M,target=P"; see
+	// redundancy.Parse), so any experiment can run under adaptive
+	// provisioning. The fixed-vs-adaptive campaign sweeps the policy
+	// itself, using this spec as its adaptive arm when it names one.
+	Redundancy string
 	// Shards sets sim.Config.Shards on every variant: 0 or 1 keeps the
 	// sequential engine, >= 2 runs each simulation's shardable phases on
 	// that many workers. Results are bit-identical at every value (the
@@ -82,7 +89,7 @@ type Summary struct {
 
 // Names lists the runnable experiment ids.
 func Names() []string {
-	return []string{"fig1", "fig2", "fig3", "fig4", "costmodel", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "ablation-estimator", "diurnal", "blackout", "replay", "transfer-baseline", "flashcrowd", "uplink-sweep", "all"}
+	return []string{"fig1", "fig2", "fig3", "fig4", "costmodel", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "ablation-estimator", "diurnal", "blackout", "replay", "transfer-baseline", "flashcrowd", "uplink-sweep", "fixed-vs-adaptive", "all"}
 }
 
 // Run executes an experiment by id and writes its data files.
@@ -144,9 +151,11 @@ func RunCtx(ctx context.Context, name string, opts Options) ([]Summary, error) {
 		return runTransfer(ctx, opts, "scenario_flashcrowd.tsv", FlashCrowdCampaign)
 	case "uplink-sweep":
 		return runTransfer(ctx, opts, "scenario_uplink_sweep.tsv", UplinkSweepCampaign)
+	case "fixed-vs-adaptive":
+		return runRedundancy(ctx, opts)
 	case "all":
 		var all []Summary
-		for _, n := range []string{"costmodel", "fig1", "fig3", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "ablation-estimator", "diurnal", "blackout", "transfer-baseline", "flashcrowd", "uplink-sweep"} {
+		for _, n := range []string{"costmodel", "fig1", "fig3", "ablation-strategy", "ablation-availability", "ablation-horizon", "ablation-delay", "ablation-estimator", "diurnal", "blackout", "transfer-baseline", "flashcrowd", "uplink-sweep", "fixed-vs-adaptive"} {
 			s, err := RunCtx(ctx, n, opts)
 			if err != nil {
 				return all, err
@@ -179,6 +188,13 @@ func baseFor(opts Options) (sim.Config, error) {
 			return cfg, err
 		}
 		cfg.Bandwidth = bw
+	}
+	if opts.Redundancy != "" {
+		// Parse eagerly so a typo fails before any simulation runs.
+		if _, err := redundancy.Parse(opts.Redundancy); err != nil {
+			return cfg, err
+		}
+		cfg.RedundancySpec = opts.Redundancy
 	}
 	return cfg, nil
 }

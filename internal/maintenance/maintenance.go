@@ -194,6 +194,23 @@ type Transfers interface {
 	PendingHosts(owner overlay.PeerID, buf []overlay.PeerID) []overlay.PeerID
 }
 
+// Redundancy supplies per-archive redundancy targets: when the engine
+// runs an adaptive redundancy policy, an archive's desired block count
+// n(t) and repair trigger deviate from the global Params. The hook is
+// consulted only on the owner-specific paths (deficits, triggers,
+// completion checks); the ledger watcher and WantsStep keep the global
+// — and always ≥ per-archive — thresholds, so a below-trigger adaptive
+// archive is found by the same arm-and-poll machinery as a fixed one.
+// A nil hook (the default) is the historical fixed behaviour.
+type Redundancy interface {
+	// TargetBlocks returns the archive's current target block count
+	// n(t), in [DataBlocks, TotalBlocks].
+	TargetBlocks(owner overlay.PeerID) int
+	// RepairThreshold returns the archive's effective repair trigger,
+	// in [DataBlocks, TargetBlocks].
+	RepairThreshold(owner overlay.PeerID) int
+}
+
 // state is the per-archive protocol state.
 type state uint8
 
@@ -250,7 +267,8 @@ type Maintainer struct {
 	env    Env
 	peers  []peerState
 	wake   func(overlay.PeerID)
-	xfer   Transfers // nil: the historical instant-placement path
+	xfer   Transfers  // nil: the historical instant-placement path
+	rd     Redundancy // nil: fixed per-run redundancy (the paper)
 
 	// Partner-mark epochs: refreshPool stamps the acting owner's
 	// current partners into a per-slot epoch array, turning the former
@@ -316,6 +334,48 @@ func (m *Maintainer) SetWake(f func(overlay.PeerID)) { m.wake = f }
 // links. A nil scheduler (the default) is the historical instant mode,
 // byte-identical to the pre-transfer engine.
 func (m *Maintainer) SetTransfers(t Transfers) { m.xfer = t }
+
+// SetRedundancy installs the per-archive redundancy hook. With the hook
+// set, every owner-specific target and trigger resolves through it; the
+// global Params remain the ceiling the ledger reservation and watcher
+// thresholds were sized for.
+func (m *Maintainer) SetRedundancy(rd Redundancy) { m.rd = rd }
+
+// targetBlocks returns the archive's desired block count: the global n
+// without a redundancy hook, the policy's n(t) with one.
+func (m *Maintainer) targetBlocks(id overlay.PeerID) int {
+	if m.rd == nil {
+		return m.params.TotalBlocks
+	}
+	return m.rd.TargetBlocks(id)
+}
+
+// threshold returns the archive's repair trigger: the global k' without
+// a redundancy hook, the policy's effective threshold with one.
+func (m *Maintainer) threshold(id overlay.PeerID) int {
+	if m.rd == nil {
+		return m.params.RepairThreshold
+	}
+	return m.rd.RepairThreshold(id)
+}
+
+// GrowArchive starts an upload episode that raises an idle, included
+// archive to its (just raised) target block count: the ordinary upload
+// machinery — candidate pools, quota, the transfer scheduler when one
+// is installed — places the extra parity blocks, and the episode
+// completes through the usual OutcomeRepaired path. It reports whether
+// an episode was started; archives mid-repair or awaiting their initial
+// upload already converge to the new target on their own.
+func (m *Maintainer) GrowArchive(id overlay.PeerID) bool {
+	p := &m.peers[id]
+	if !p.included || p.st != stateIdle {
+		return false
+	}
+	p.st = stateUploading
+	p.epStart = m.env.Round()
+	m.Arm(id)
+	return true
+}
 
 // EnableScoreCache turns on the per-(slot, round) score memo. It is a
 // no-op unless the policy declares a pure Score (selection.HasPureScore)
@@ -523,7 +583,7 @@ func (m *Maintainer) Step(r *rng.Rand, id overlay.PeerID) StepResult {
 	}
 	switch p.st {
 	case stateIdle:
-		if m.led.Visible(id) >= m.params.RepairThreshold {
+		if m.led.Visible(id) >= m.threshold(id) {
 			return StepResult{Outcome: OutcomeNone}
 		}
 		p.st = stateTriggered
@@ -541,7 +601,7 @@ func (m *Maintainer) Step(r *rng.Rand, id overlay.PeerID) StepResult {
 // stepTriggered gathers candidates while waiting for the decode point.
 func (m *Maintainer) stepTriggered(r *rng.Rand, id overlay.PeerID, p *peerState) StepResult {
 	visible := m.led.Visible(id)
-	if m.params.CancelOnRecover && visible >= m.params.RepairThreshold {
+	if m.params.CancelOnRecover && visible >= m.threshold(id) {
 		m.finishEpisode(p)
 		return StepResult{Outcome: OutcomeCanceled}
 	}
@@ -579,7 +639,7 @@ func (m *Maintainer) stepTriggered(r *rng.Rand, id overlay.PeerID, p *peerState)
 			}
 		}
 	}
-	if m.led.Alive(id) >= m.params.TotalBlocks {
+	if m.led.Alive(id) >= m.targetBlocks(id) {
 		// Nothing to upload (possible with DropOffline=false when only
 		// offline partners pushed us under the threshold).
 		m.finishEpisode(p)
@@ -621,7 +681,7 @@ func (m *Maintainer) stepUpload(r *rng.Rand, id overlay.PeerID, p *peerState) St
 			(p.unmetered || m.freeQuota(e.ref.ID) >= 1) &&
 			m.partnerMark[e.ref.ID] != m.markEpoch
 	}
-	deficit := m.params.TotalBlocks - m.led.Alive(id)
+	deficit := m.targetBlocks(id) - m.led.Alive(id)
 	budget := m.params.UploadBudgetPerRound
 	if budget <= 0 {
 		budget = deficit // unlimited
@@ -664,7 +724,7 @@ func (m *Maintainer) stepUploadTransfers(id overlay.PeerID, p *peerState) StepRe
 			m.freeQuota(e.ref.ID) >= 1 &&
 			m.partnerMark[e.ref.ID] != m.markEpoch
 	}
-	deficit := m.params.TotalBlocks - m.led.Alive(id) - m.xfer.Inflight(id)
+	deficit := m.targetBlocks(id) - m.led.Alive(id) - m.xfer.Inflight(id)
 	slots := m.xfer.UploadSlots(id)
 	for deficit > 0 && slots > 0 {
 		best := m.takeBestPlaceable(id, p)
@@ -699,7 +759,7 @@ func (m *Maintainer) DeliverUpload(owner, host overlay.PeerID) (StepResult, bool
 		panic(fmt.Sprintf("maintenance: delivery %d->%d failed: %v", owner, host, err))
 	}
 	p.uploaded++
-	if m.led.Alive(owner) < m.params.TotalBlocks {
+	if m.led.Alive(owner) < m.targetBlocks(owner) {
 		return StepResult{}, false
 	}
 	res := StepResult{Uploaded: p.uploaded, Dropped: p.dropped}

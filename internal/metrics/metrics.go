@@ -142,6 +142,15 @@ type Collector struct {
 	ttr            Durations
 	restoresFailed int64
 
+	// Adaptive redundancy accounting (Config.Redundancy): grow/shrink
+	// decision counts, the parity blocks they moved, and the population
+	// mean n(t) sampled as a time series (fixed mode records nothing).
+	redunGrows    int64
+	redunShrinks  int64
+	parityAdded   int64
+	parityDropped int64
+	redunSeries   *stats.Series
+
 	sampleEvery int64
 	warmup      int64 // rounds excluded from rate numerators/denominators
 }
@@ -227,6 +236,7 @@ func NewCollector(numProfiles int, sampleEvery, warmup int64) *Collector {
 		c.lossSeries[i] = stats.NewSeries(Category(i).String() + " cumulative losses/peer")
 		c.repairSeries[i] = stats.NewSeries(Category(i).String() + " repairs/peer/day")
 	}
+	c.redunSeries = stats.NewSeries("mean redundancy blocks/archive")
 	return c
 }
 
@@ -340,6 +350,51 @@ func (c *Collector) TimeToRestore() *Durations { return &c.ttr }
 // RestoresFailed returns the number of restores aborted by peer death.
 func (c *Collector) RestoresFailed() int64 { return c.restoresFailed }
 
+// RecordRedundancyChange notes an adaptive redundancy decision
+// retuning one archive's target block count from from to to blocks.
+func (c *Collector) RecordRedundancyChange(round int64, from, to int) {
+	if !c.measured(round) || from == to {
+		return
+	}
+	if to > from {
+		c.redunGrows++
+		c.parityAdded += int64(to - from)
+	} else {
+		c.redunShrinks++
+		c.parityDropped += int64(from - to)
+	}
+}
+
+// RecordRedundancyLevel notes the population's mean target block count
+// for the redundancy time series; sampled on the same cadence as the
+// Figure 4 series (the engine calls it once per round, pre-warmup
+// included, since the series is a trajectory, not a rate).
+func (c *Collector) RecordRedundancyLevel(round int64, mean float64) {
+	if (round+1)%c.sampleEvery != 0 {
+		return
+	}
+	c.redunSeries.Append(float64(round+1)/float64(churn.Day), mean)
+}
+
+// RedundancyGrows returns how many grow decisions the policy made.
+func (c *Collector) RedundancyGrows() int64 { return c.redunGrows }
+
+// RedundancyShrinks returns how many shrink decisions the policy made.
+func (c *Collector) RedundancyShrinks() int64 { return c.redunShrinks }
+
+// ParityBlocksAdded returns the parity blocks grow decisions scheduled
+// for upload (the adaptive policy's bandwidth bill; price it with
+// costmodel.ParityUploadCost).
+func (c *Collector) ParityBlocksAdded() int64 { return c.parityAdded }
+
+// ParityBlocksReclaimed returns the parity blocks shrink decisions
+// retired (the adaptive policy's storage dividend).
+func (c *Collector) ParityBlocksReclaimed() int64 { return c.parityDropped }
+
+// RedundancySeries returns the mean-n(t) trajectory (empty in fixed
+// mode).
+func (c *Collector) RedundancySeries() *stats.Series { return c.redunSeries }
+
 // RecordStall notes a round in which a peer needed repair but could not
 // proceed (not enough visible blocks to decode, or owner offline).
 func (c *Collector) RecordStall(round int64, cat Category) {
@@ -411,6 +466,10 @@ func (c *Collector) Merge(other *Collector) {
 	c.ttb.Merge(&other.ttb)
 	c.ttr.Merge(&other.ttr)
 	c.restoresFailed += other.restoresFailed
+	c.redunGrows += other.redunGrows
+	c.redunShrinks += other.redunShrinks
+	c.parityAdded += other.parityAdded
+	c.parityDropped += other.parityDropped
 }
 
 // Counts returns the aggregate counters for a category.

@@ -251,6 +251,12 @@ func TestCollectorMerge(t *testing.T) {
 	b.RecordBackupTime(12, 5)
 	b.RecordRestoreTime(13, 4)
 
+	// Redundancy counters merge like every other counter.
+	a.RecordRedundancyChange(5, 20, 26) // grow +6
+	b.RecordRedundancyChange(6, 26, 21) // shrink -5
+	b.RecordRedundancyChange(7, 21, 23) // grow +2
+	a.RecordRedundancyLevel(23, 21.5)   // series stays per-run (not merged)
+
 	a.Merge(b)
 	nc := a.Counts(Newcomer)
 	if nc.PeerRounds != 150 || nc.Repairs != 2 || nc.Outages != 1 || nc.HardLosses != 1 ||
@@ -285,9 +291,39 @@ func TestCollectorMerge(t *testing.T) {
 	if a.TimeToRestore().N() != 1 || a.RestoresFailed() != 1 {
 		t.Fatalf("merged ttr n=%d restoresFailed=%d", a.TimeToRestore().N(), a.RestoresFailed())
 	}
+	if a.RedundancyGrows() != 2 || a.RedundancyShrinks() != 1 ||
+		a.ParityBlocksAdded() != 8 || a.ParityBlocksReclaimed() != 5 {
+		t.Fatalf("merged redundancy counters grows=%d shrinks=%d added=%d reclaimed=%d",
+			a.RedundancyGrows(), a.RedundancyShrinks(), a.ParityBlocksAdded(), a.ParityBlocksReclaimed())
+	}
+	// Like LossSeries, the redundancy series is a single-run trajectory:
+	// merge must leave a's own samples untouched.
+	if a.RedundancySeries().Len() != 1 {
+		t.Fatalf("merge disturbed the redundancy series: len=%d", a.RedundancySeries().Len())
+	}
 	// Pooled rates: numerators and denominators both pooled.
 	if got := a.RepairRatePer1000(Newcomer, false); got != 2.0/150*1000 {
 		t.Fatalf("pooled repair rate = %v", got)
+	}
+}
+
+func TestRecordRedundancyChange(t *testing.T) {
+	c := NewCollector(1, 24, 10)
+	c.RecordRedundancyChange(5, 20, 30)  // pre-warmup: ignored
+	c.RecordRedundancyChange(15, 20, 20) // no-op delta: ignored
+	c.RecordRedundancyChange(15, 20, 24)
+	c.RecordRedundancyChange(16, 24, 21)
+	if c.RedundancyGrows() != 1 || c.ParityBlocksAdded() != 4 {
+		t.Fatalf("grows=%d added=%d, want 1/4", c.RedundancyGrows(), c.ParityBlocksAdded())
+	}
+	if c.RedundancyShrinks() != 1 || c.ParityBlocksReclaimed() != 3 {
+		t.Fatalf("shrinks=%d reclaimed=%d, want 1/3", c.RedundancyShrinks(), c.ParityBlocksReclaimed())
+	}
+	// The level series samples on the same cadence as the loss series.
+	c.RecordRedundancyLevel(10, 22) // (10+1)%24 != 0: skipped
+	c.RecordRedundancyLevel(23, 22)
+	if c.RedundancySeries().Len() != 1 {
+		t.Fatalf("series len = %d, want 1", c.RedundancySeries().Len())
 	}
 }
 

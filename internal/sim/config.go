@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"p2pbackup/internal/churn"
+	"p2pbackup/internal/redundancy"
 	"p2pbackup/internal/selection"
 	"p2pbackup/internal/transfer"
 )
@@ -72,6 +73,18 @@ type Config struct {
 	// Bandwidth — or the degenerate single instant class — keeps the
 	// historical instant path, bit-identical to pre-transfer runs.
 	Bandwidth *transfer.Params
+
+	// Redundancy is the per-archive redundancy policy: a static policy
+	// (redundancy.Fixed, the default) keeps every archive at the
+	// configured n; an adaptive policy retunes each archive's target
+	// block count online from monitored partner availability, within
+	// [k+1, n] — TotalBlocks stays the ledger's preallocated ceiling.
+	// Takes precedence over RedundancySpec.
+	Redundancy redundancy.Policy
+	// RedundancySpec names the redundancy policy as a spec string
+	// ("fixed", "adaptive:target=0.95"; see redundancy.Parse). Ignored
+	// when Redundancy is set.
+	RedundancySpec string
 
 	// Restores schedules restore-demand events (flash crowds): at each
 	// spec's round, included peers independently demand their archive
@@ -281,6 +294,18 @@ func (c Config) Validate() (Config, error) {
 		return c, fmt.Errorf("sim: threshold %d outside [k=%d, n=%d]",
 			c.RepairThreshold, c.DataBlocks, c.TotalBlocks)
 	}
+	if c.Redundancy == nil {
+		pol, err := redundancy.Parse(c.RedundancySpec)
+		if err != nil {
+			return c, fmt.Errorf("sim: %w", err)
+		}
+		c.Redundancy = pol
+	}
+	bound, err := c.Redundancy.Bind(c.DataBlocks, c.RepairThreshold, c.TotalBlocks)
+	if err != nil {
+		return c, fmt.Errorf("sim: %w", err)
+	}
+	c.Redundancy = bound
 	if c.Quota < 1 {
 		return c, fmt.Errorf("sim: quota %d must be positive", c.Quota)
 	}

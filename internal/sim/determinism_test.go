@@ -96,6 +96,14 @@ func (d *digestProbe) OnTransferAbort(e TransferEvent) {
 	d.mix(13, e.Round, e.ID, int64(e.Kind), int64(e.Owner), int64(e.Host), int64(e.Blocks), e.Elapsed)
 }
 
+// Redundancy events never fire in fixed mode (same preservation rule as
+// the transfer events above); mixing them pins adaptive-mode streams.
+// OnRoundEnd likewise does not mix MeanRedundancy: it is 0 in fixed
+// mode and fully determined by the OnRedundancyChange stream otherwise.
+func (d *digestProbe) OnRedundancyChange(e RedundancyEvent) {
+	d.mix(14, e.Round, int64(e.Peer), int64(e.From), int64(e.To))
+}
+
 // digestRun executes cfg with a digest probe attached and folds the
 // result counters into the final hash.
 func digestRun(t *testing.T, cfg Config) uint64 {

@@ -77,11 +77,31 @@ type ObserverRepairEvent struct {
 	Name     string
 }
 
+// RedundancyEvent reports an adaptive redundancy decision: the policy
+// retuned one archive's target block count (Config.Redundancy; never
+// fires under the fixed policy). From > To is a shrink — the surplus
+// placements were retired immediately, releasing host storage; To >
+// From is a grow — a maintenance upload episode for the extra parity
+// blocks starts this round and completes through the ordinary repair
+// machinery (OnRepair).
+type RedundancyEvent struct {
+	Round int64
+	Peer  int // population slot
+	From  int // previous target block count n(t)
+	To    int // new target block count
+	// Availability is the monitored partner-availability estimate the
+	// decision was based on.
+	Availability float64
+}
+
 // RoundEndEvent closes a round with the per-category population, the
 // denominator every rate metric normalises by.
 type RoundEndEvent struct {
 	Round      int64
 	Population [metrics.NumCategories]int64
+	// MeanRedundancy is the population's mean target block count n(t)
+	// under an adaptive redundancy policy; 0 in fixed mode.
+	MeanRedundancy float64
 }
 
 // probe event kind indices; each kind's EventSet bit is 1 << index.
@@ -101,6 +121,9 @@ const (
 	evTransferStart
 	evTransferComplete
 	evTransferAbort
+	// Redundancy events append after the transfer kinds, same stability
+	// rule.
+	evRedundancyChange
 	numProbeEvents
 )
 
@@ -136,6 +159,8 @@ const (
 	EventTransferComplete EventSet = 1 << evTransferComplete
 	// EventTransferAbort selects OnTransferAbort.
 	EventTransferAbort EventSet = 1 << evTransferAbort
+	// EventRedundancyChange selects OnRedundancyChange.
+	EventRedundancyChange EventSet = 1 << evRedundancyChange
 )
 
 // AllEvents selects every event kind: the implied declaration of a
@@ -211,6 +236,9 @@ type Probe interface {
 	OnTransferComplete(TransferEvent)
 	// OnTransferAbort reports a transfer killed by an endpoint dying.
 	OnTransferAbort(TransferEvent)
+	// OnRedundancyChange reports an adaptive redundancy policy retuning
+	// one archive's target block count (never fires in fixed mode).
+	OnRedundancyChange(RedundancyEvent)
 }
 
 // BaseProbe is a no-op Probe for embedding: override only the hooks a
@@ -256,6 +284,9 @@ func (BaseProbe) OnTransferComplete(TransferEvent) {}
 // OnTransferAbort implements Probe.
 func (BaseProbe) OnTransferAbort(TransferEvent) {}
 
+// OnRedundancyChange implements Probe.
+func (BaseProbe) OnRedundancyChange(RedundancyEvent) {}
+
 // ---------------------------------------------------------------------------
 // Built-in probes: the metrics layer, expressed as probes.
 
@@ -269,7 +300,12 @@ type collectorProbe struct {
 // death traffic — the bulk of a round's events — skips it entirely.
 func (collectorProbe) ProbeEvents() EventSet {
 	return EventRepair | EventOutage | EventHardLoss | EventStall | EventShock |
-		EventRoundEnd | EventTransferComplete | EventTransferAbort
+		EventRoundEnd | EventTransferComplete | EventTransferAbort |
+		EventRedundancyChange
+}
+
+func (p collectorProbe) OnRedundancyChange(e RedundancyEvent) {
+	p.col.RecordRedundancyChange(e.Round, e.From, e.To)
 }
 
 func (p collectorProbe) OnRepair(e RepairEvent) {
@@ -308,6 +344,9 @@ func (p collectorProbe) OnShock(e ShockEvent) {
 func (p collectorProbe) OnRoundEnd(e RoundEndEvent) {
 	for cat := metrics.Category(0); cat < metrics.NumCategories; cat++ {
 		p.col.AddPeerRounds(e.Round, cat, e.Population[cat])
+	}
+	if e.MeanRedundancy > 0 {
+		p.col.RecordRedundancyLevel(e.Round, e.MeanRedundancy)
 	}
 	p.col.EndRound(e.Round, e.Population)
 }

@@ -281,7 +281,7 @@ func TestBuiltinProbeDeclarations(t *testing.T) {
 		want EventSet
 	}{
 		{"collector", collectorProbe{}, EventRepair | EventOutage | EventHardLoss | EventStall | EventShock |
-			EventRoundEnd | EventTransferComplete | EventTransferAbort},
+			EventRoundEnd | EventTransferComplete | EventTransferAbort | EventRedundancyChange},
 		{"observer", observerProbe{}, EventObserverRepair},
 		{"trace", traceProbe{}, EventChurn},
 		{"undeclared", &recordingProbe{}, AllEvents},

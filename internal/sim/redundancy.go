@@ -1,0 +1,240 @@
+package sim
+
+// Adaptive redundancy: the engine-side state and round phase behind
+// Config.Redundancy. A static policy (fixed, the default) allocates
+// nothing here and the engine is literally the pre-adaptive engine; an
+// adaptive policy gets a per-archive target array, a derived scratch
+// rng stream, and one evaluation phase per round.
+//
+// The rng rule: every draw an evaluation makes (partner subsampling)
+// comes from a stream derived via rng.Derive(seed, redunStreamIndex),
+// never from the engine's canonical stream s.r. The phase runs after
+// the churn walk's history barrier and before the maintenance shuffle,
+// touches the ledger only through deterministic drops, and iterates
+// slots in ascending order — so adaptive runs are bit-identical at
+// every shard count, and fixed runs never see the stream at all.
+
+import (
+	"p2pbackup/internal/overlay"
+	"p2pbackup/internal/redundancy"
+	"p2pbackup/internal/rng"
+)
+
+// redunStreamIndex is the rng.Derive index of the redundancy scratch
+// stream ("REDUNDAN" in ASCII). Shard scratch streams derive from small
+// integer indexes (0..Shards-1), so any value >= 2^32 cannot collide.
+const redunStreamIndex uint64 = 0x5245_4455_4e44_414e
+
+// redunEstGain is the per-evaluation EWMA gain of the availability
+// estimate. One evaluation's probe is a 16-sample with-replacement
+// draw whose noise swings the durability-minimal n(t) by tens of
+// blocks; acting on it raw made the policy flap (grow/shrink cycles on
+// sampling jitter) and, on a high-side spike, shrink archives toward
+// n(t) ~ k' — where the expected visible count sits at or below k, so
+// repairs stall undecodable and host deaths turn the dip into a hard
+// loss. Smoothing over ~1/gain evaluations keeps a single probe from
+// moving the target while still tracking real availability shifts
+// within a few days of simulated time.
+const redunEstGain = 0.25
+
+// redunState is the adaptive-policy engine state (nil under a static
+// policy).
+type redunState struct {
+	pol redundancy.Policy
+	r   *rng.Rand // derived scratch stream; see the package rule above
+	// target and thr hold each population slot's current n(t) and the
+	// effective repair threshold it implies (cached because the
+	// maintenance hook reads it on every Step).
+	target []int32
+	thr    []int32
+	// est holds each slot's smoothed availability estimate (the EWMA of
+	// per-evaluation probes; 0 = no evaluation yet). See redunEstGain.
+	est    []float64
+	sum    int64 // sum of target, for the mean-n(t) series
+	eval   int64 // per-archive evaluation cadence (rounds)
+	window int64 // monitored-uptime window (AcceptHorizon)
+	sample int   // partners probed per evaluation
+	buf    []overlay.PeerID
+}
+
+// newRedunState builds the per-archive arrays at the policy's initial
+// target.
+func newRedunState(cfg Config) *redunState {
+	rs := &redunState{
+		pol:    cfg.Redundancy,
+		r:      rng.New(rng.Derive(cfg.Seed, redunStreamIndex)),
+		target: make([]int32, cfg.NumPeers),
+		thr:    make([]int32, cfg.NumPeers),
+		est:    make([]float64, cfg.NumPeers),
+		eval:   cfg.Redundancy.EvalEvery(),
+		window: cfg.AcceptHorizon,
+		sample: cfg.Redundancy.SamplePeers(),
+		buf:    make([]overlay.PeerID, 0, cfg.TotalBlocks),
+	}
+	initial := cfg.Redundancy.Initial(cfg.DataBlocks, cfg.TotalBlocks)
+	thr := redundancy.EffectiveThreshold(cfg.DataBlocks, cfg.RepairThreshold, cfg.TotalBlocks, initial)
+	for i := range rs.target {
+		rs.target[i] = int32(initial)
+		rs.thr[i] = int32(thr)
+	}
+	rs.sum = int64(initial) * int64(cfg.NumPeers)
+	return rs
+}
+
+// setTarget moves one slot's target, keeping the cached threshold and
+// the population sum in step.
+func (s *Simulation) setTarget(id overlay.PeerID, nt int) {
+	rs := s.redun
+	rs.sum += int64(nt) - int64(rs.target[id])
+	rs.target[id] = int32(nt)
+	rs.thr[id] = int32(redundancy.EffectiveThreshold(
+		s.cfg.DataBlocks, s.cfg.RepairThreshold, s.cfg.TotalBlocks, nt))
+}
+
+// redunReset restores a slot's target to the policy's initial value
+// when its archive identity changes (occupant replaced, archive lost
+// and re-encoded). Not a policy decision: no event is emitted.
+func (s *Simulation) redunReset(id overlay.PeerID) {
+	if s.redun == nil || int(id) >= s.cfg.NumPeers {
+		return
+	}
+	s.redun.est[id] = 0 // a new archive identity starts its estimate over
+	s.setTarget(id, s.redun.pol.Initial(s.cfg.DataBlocks, s.cfg.TotalBlocks))
+}
+
+// stepRedundancy is the adaptive evaluation phase: each round it walks
+// the round's cohort — the slots with id ≡ -round (mod eval), so every
+// archive is evaluated exactly once per eval rounds and the per-round
+// cost is NumPeers/eval — estimates each archive's availability from
+// its partners' monitored histories, and applies the policy's verdict:
+// grow starts an ordinary upload episode for the missing parity blocks
+// (real transfers when bandwidth scheduling is on), shrink retires
+// surplus placements immediately, offline hosts first.
+func (s *Simulation) stepRedundancy(round int64) {
+	rs := s.redun
+	start := int((rs.eval - round%rs.eval) % rs.eval)
+	for id := start; id < s.cfg.NumPeers; id += int(rs.eval) {
+		s.evalRedundancy(round, overlay.PeerID(id))
+	}
+}
+
+// evalRedundancy runs one archive's policy evaluation.
+func (s *Simulation) evalRedundancy(round int64, id overlay.PeerID) {
+	rs := s.redun
+	// Only healthy, complete archives are retuned: an archive mid-repair
+	// (or mid-grow) already converges to its target, and one awaiting
+	// its initial upload has no partners to measure.
+	if !s.maint.Included(id) || s.maint.Repairing(id) {
+		return
+	}
+	hosts := s.led.Hosts(id, rs.buf[:0])
+	nh := len(hosts)
+	if nh == 0 {
+		return
+	}
+	// Availability estimate, probe one: mean monitored uptime of the
+	// partners over the acceptance window. Bounded monitoring cost: past
+	// Sample partners, probe a with-replacement sample drawn on the
+	// scratch stream (the draw count depends only on ledger state, which
+	// is shard-count invariant).
+	var p float64
+	if nh <= rs.sample {
+		for _, h := range hosts {
+			p += s.hist[h].Uptime(round, rs.window)
+		}
+		p /= float64(nh)
+	} else {
+		for i := 0; i < rs.sample; i++ {
+			p += s.hist[hosts[rs.r.Intn(nh)]].Uptime(round, rs.window)
+		}
+		p /= float64(rs.sample)
+	}
+	// Probe two: the archive's own visible fraction right now — a direct,
+	// unbiased measurement of what the actual placement set delivers
+	// (monitored partner uptime overestimates it: partners still in the
+	// set are survivors, and a small sample can land on always-on hosts
+	// and report p ~ 1). The pessimistic min of the two probes feeds the
+	// per-archive EWMA the policy actually sees; sizing on anything less
+	// conservative shrank archives into repair-stall territory.
+	if v := float64(s.led.Visible(id)) / float64(nh); v < p {
+		p = v
+	}
+	if e := rs.est[id]; e > 0 {
+		p = e + redunEstGain*(p-e)
+	}
+	rs.est[id] = p
+	cur := int(rs.target[id])
+	nt := rs.pol.Target(redundancy.Observation{
+		Round:        round,
+		Current:      cur,
+		DataBlocks:   s.cfg.DataBlocks,
+		Availability: p,
+	})
+	if nt == cur {
+		return
+	}
+	s.setTarget(id, nt)
+	if nt > cur {
+		// Grow: the maintenance upload machinery places the extra parity
+		// blocks; the episode completes through the usual repair path.
+		if !s.maint.GrowArchive(id) {
+			// Included and idle was checked above; a refusal here is an
+			// engine bug, not a policy condition.
+			panic("sim: GrowArchive refused an idle included archive")
+		}
+	} else {
+		s.shrinkArchive(id, nt)
+	}
+	ev := RedundancyEvent{Round: round, Peer: int(id), From: cur, To: nt, Availability: p}
+	for _, pr := range s.dispatch[evRedundancyChange] {
+		pr.OnRedundancyChange(ev)
+	}
+}
+
+// shrinkArchive retires surplus placements until the archive holds at
+// most nt blocks: offline hosts first (their blocks are the least
+// useful), then from the placement list's end. Dropping frees host
+// quota immediately; a visibility crossing fires the ledger watcher
+// exactly as a partner death would, so the armed-set machinery stays
+// coherent.
+func (s *Simulation) shrinkArchive(id overlay.PeerID, nt int) {
+	for i := s.led.Alive(id) - 1; i >= 0 && s.led.Alive(id) > nt; i-- {
+		host, err := s.led.HostAt(id, i)
+		if err != nil {
+			panic(err) // ledger indexes are engine-controlled
+		}
+		if !s.led.Online(host) {
+			if err := s.led.DropPlacementAt(id, i); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for s.led.Alive(id) > nt {
+		if err := s.led.DropPlacementAt(id, s.led.Alive(id)-1); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// simRedun adapts the engine's redundancy state to the maintenance
+// hook. Observer slots sit past the population and keep the global
+// shape — they are instrumentation, pinned at the paper's parameters.
+type simRedun Simulation
+
+// TargetBlocks implements maintenance.Redundancy.
+func (sr *simRedun) TargetBlocks(owner overlay.PeerID) int {
+	s := (*Simulation)(sr)
+	if int(owner) >= s.cfg.NumPeers {
+		return s.cfg.TotalBlocks
+	}
+	return int(s.redun.target[owner])
+}
+
+// RepairThreshold implements maintenance.Redundancy.
+func (sr *simRedun) RepairThreshold(owner overlay.PeerID) int {
+	s := (*Simulation)(sr)
+	if int(owner) >= s.cfg.NumPeers {
+		return s.cfg.RepairThreshold
+	}
+	return int(s.redun.thr[owner])
+}

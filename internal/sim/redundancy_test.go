@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"p2pbackup/internal/churn"
+	"p2pbackup/internal/redundancy"
+)
+
+// TestFixedModeGoldenDigests is the adaptive layer's degenerate-mode
+// equivalence gate (the PR-6 instant-mode test's sibling): explicitly
+// configuring the fixed redundancy policy must reproduce the
+// pre-adaptive engine's probe streams bit for bit — same goldens as
+// TestGoldenScenarioDigests, rng draw order untouched, the redundancy
+// phase never entered.
+func TestFixedModeGoldenDigests(t *testing.T) {
+	shockCfg := digestConfig()
+	shockCfg.Shocks = []ShockSpec{
+		{Name: "blackout", Round: 120, Fraction: 0.5, Outage: 24},
+		{Name: "regional-kill", Rate: 0.01, Fraction: 0.3, Regions: 4, Kill: true},
+	}
+	diurnalCfg := digestConfig()
+	diurnalCfg.Avail = churn.DefaultDiurnalModel(0.6)
+
+	cases := []struct {
+		name string
+		cfg  Config
+		want uint64
+	}{
+		{"iid", digestConfig(), 0xb0298adf8abb6acd},
+		{"diurnal", diurnalCfg, 0xc1c1ef64a949edb6},
+		{"shock", shockCfg, 0x27e7bdc89614a401},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.cfg.RedundancySpec = "fixed"
+			got := digestRun(t, tc.cfg)
+			if got != tc.want {
+				t.Errorf("fixed-mode digest = %#x, want %#x (redundancy gate leaked into the legacy path)", got, tc.want)
+			}
+		})
+	}
+
+	t.Run("replay", func(t *testing.T) {
+		rec := digestConfig()
+		rec.RecordTrace = true
+		rec.Observers = nil
+		rec.RedundancySpec = "fixed"
+		s, err := New(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := s.Run().Trace
+
+		rep := digestConfig()
+		rep.Observers = nil
+		rep.Replay = trace
+		rep.StrategySpec = "monitored-availability"
+		rep.RedundancySpec = "fixed"
+		const want uint64 = 0x069cd8d20f8f8853
+		if got := digestRun(t, rep); got != want {
+			t.Errorf("fixed-mode replay digest = %#x, want %#x", got, want)
+		}
+	})
+}
+
+// adaptiveConfig is digestConfig under an adaptive policy whose target
+// the scaled-down 32-block code shape can actually undercut and whose
+// hysteresis band the shape's narrow [k', n] range can cross: with the
+// defaults (five nines, 6-block band) the policy would pin every
+// archive at Max and the storage-savings assertions below would be
+// vacuous.
+func adaptiveConfig() Config {
+	cfg := digestConfig()
+	cfg.RedundancySpec = "adaptive:target=0.99,hysteresis=2"
+	return cfg
+}
+
+// TestAdaptiveDeterminism: equal seeds give identical adaptive
+// trajectories, and the adaptive policy genuinely deviates from fixed
+// (otherwise the whole layer is dead code).
+func TestAdaptiveDeterminism(t *testing.T) {
+	a := digestRun(t, adaptiveConfig())
+	b := digestRun(t, adaptiveConfig())
+	if a != b {
+		t.Fatalf("adaptive digests differ across identical runs: %#x vs %#x", a, b)
+	}
+	if fixed := digestRun(t, digestConfig()); a == fixed {
+		t.Fatalf("adaptive digest equals fixed digest %#x: the policy never acted", fixed)
+	}
+}
+
+// TestAdaptiveRedundancyActs checks the observable behaviour of the
+// adaptive layer end to end: archives start at the full provision and
+// shrink once measured, decisions are recorded with their parity-block
+// deltas, the mean-n(t) series is populated, and the steady-state
+// storage footprint sits below the fixed policy's n-per-archive bill.
+func TestAdaptiveRedundancyActs(t *testing.T) {
+	cfg := adaptiveConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	col := res.Collector
+
+	fixedRes := func() *Result {
+		fs, err := New(digestConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs.Run()
+	}()
+
+	if col.RedundancyGrows() == 0 {
+		t.Error("no grow decisions recorded")
+	}
+	if col.ParityBlocksAdded() == 0 {
+		t.Error("no parity blocks added")
+	}
+	if col.RedundancySeries().Len() == 0 {
+		t.Error("redundancy series empty")
+	}
+	if fixedCol := fixedRes.Collector; fixedCol.RedundancyGrows() != 0 ||
+		fixedCol.ParityBlocksAdded() != 0 || fixedCol.RedundancySeries().Len() != 0 {
+		t.Error("fixed mode recorded redundancy activity")
+	}
+
+	// The mean target can never leave the policy's bound band.
+	pol := s.cfg.Redundancy.(redundancy.Adaptive)
+	series := col.RedundancySeries()
+	for i := 0; i < series.Len(); i++ {
+		_, mean := series.At(i)
+		if mean < float64(pol.Min) || mean > float64(pol.Max) {
+			t.Fatalf("mean redundancy %v outside policy bounds [%d, %d]", mean, pol.Min, pol.Max)
+		}
+	}
+
+	// Storage dividend: with partners skewing high-availability under
+	// age selection, adaptive archives hold fewer blocks than fixed
+	// n-per-archive ones.
+	if res.FinalPlacements >= fixedRes.FinalPlacements {
+		t.Errorf("adaptive final placements %d >= fixed %d: no storage savings",
+			res.FinalPlacements, fixedRes.FinalPlacements)
+	}
+}
+
+// TestRedundancyConfigValidation: spec errors and shape mismatches must
+// surface from Config.Validate, wrapped with the sim prefix.
+func TestRedundancyConfigValidation(t *testing.T) {
+	bad := digestConfig()
+	bad.RedundancySpec = "nope:1"
+	if _, err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "sim: ") {
+		t.Errorf("unknown spec error = %v, want sim-wrapped", err)
+	}
+
+	shape := digestConfig()
+	shape.Redundancy = redundancy.Adaptive{Min: 8} // below k=16
+	if _, err := shape.Validate(); err == nil {
+		t.Error("shape-invalid policy accepted")
+	}
+
+	good := digestConfig()
+	good.RedundancySpec = "adaptive:min=24,target=0.95"
+	cfg, err := good.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, ok := cfg.Redundancy.(redundancy.Adaptive)
+	if !ok || pol.Min != 24 || pol.Max != cfg.TotalBlocks {
+		t.Errorf("bound policy = %+v, want min=24 max=%d", cfg.Redundancy, cfg.TotalBlocks)
+	}
+}

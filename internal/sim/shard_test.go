@@ -41,6 +41,11 @@ func shardScenarios(t *testing.T) []struct {
 		t.Fatal(err)
 	}
 	bwCfg.Bandwidth = bw
+	adaptCfg := digestConfig()
+	adaptCfg.RedundancySpec = "adaptive"
+	adaptBwCfg := digestConfig()
+	adaptBwCfg.Bandwidth = bw
+	adaptBwCfg.RedundancySpec = "adaptive:target=0.95,eval=12"
 	return []struct {
 		name   string
 		cfg    Config
@@ -50,6 +55,8 @@ func shardScenarios(t *testing.T) []struct {
 		{"diurnal", diurnalCfg, 0xc1c1ef64a949edb6},
 		{"shock", shockCfg, 0x27e7bdc89614a401},
 		{"bandwidth", bwCfg, 0},
+		{"adaptive", adaptCfg, 0},
+		{"adaptive-bandwidth", adaptBwCfg, 0},
 	}
 }
 
@@ -135,6 +142,9 @@ func TestShardEquivalenceRandomizedConfigs(t *testing.T) {
 		}
 		if r.Bool(0.3) {
 			cfg.Avail = churn.DefaultDiurnalModel(0.3 + 0.5*r.Float64())
+		}
+		if r.Bool(0.5) {
+			cfg.RedundancySpec = "adaptive:eval=" + []string{"6", "24"}[r.Intn(2)]
 		}
 		shards := 2 + r.Intn(8)
 		name := fmt.Sprintf("i=%d/peers=%d/rounds=%d/shards=%d", i, cfg.NumPeers, cfg.Rounds, shards)

@@ -132,6 +132,7 @@ type Simulation struct {
 	probes   []Probe
 	replay   *replayScript // non-nil: churn comes from Config.Replay
 	xfer     *xferState    // non-nil: bandwidth scheduling or restore demand enabled
+	redun    *redunState   // non-nil: adaptive redundancy policy enabled
 
 	// dispatch holds the probe list compiled per event kind from the
 	// probes' EventDeclarer declarations: emitting an event iterates
@@ -255,6 +256,13 @@ func New(cfg Config) (*Simulation, error) {
 	}, s.led, s.tab, cfg.Policy, (*simEnv)(s))
 	s.maint.SetWake(s.requestVisit)
 	s.maint.EnableScoreCache() // no-op unless the policy's Score is pure
+	if cfg.Redundancy != nil && !cfg.Redundancy.Static() {
+		// A static policy allocates nothing: the engine stays literally
+		// the pre-adaptive engine, draw for draw (TestFixedModeGoldenDigests
+		// pins this).
+		s.redun = newRedunState(cfg)
+		s.maint.SetRedundancy((*simRedun)(s))
+	}
 	if cfg.Shards >= 2 {
 		s.shards = newShardState(cfg)
 	}
@@ -682,6 +690,14 @@ func (s *Simulation) stepRound() {
 		s.stepTransfers(round)
 	}
 
+	// Phase 1.6: adaptive redundancy evaluation, after the history
+	// barrier (it reads monitored uptimes) and before the maintenance
+	// shuffle (a grow decision arms its slot for next round's walk).
+	// Draws only from the derived scratch stream, never from s.r.
+	if s.redun != nil {
+		s.stepRedundancy(round)
+	}
+
 	// Sharded warm phase: when the actor set will probe a large
 	// fraction of the population, materialise every slot's view (and
 	// pure-policy score) in parallel before maintenance reads them
@@ -749,6 +765,9 @@ func (s *Simulation) stepRound() {
 
 	// Phase 3: accounting.
 	end := RoundEndEvent{Round: round, Population: s.catPop}
+	if s.redun != nil {
+		end.MeanRedundancy = float64(s.redun.sum) / float64(s.cfg.NumPeers)
+	}
 	for _, pr := range s.dispatch[evRoundEnd] {
 		pr.OnRoundEnd(end)
 	}
@@ -796,6 +815,9 @@ func (s *Simulation) visitSlot(round int64, id overlay.PeerID) {
 			s.xferAbortOwner(round, id)
 		}
 		s.maint.ResetArchive(id)
+		// The re-encoded archive is a fresh object: its redundancy target
+		// restarts at the policy's initial value.
+		s.redunReset(id)
 		ev := s.peerEvent(round, id)
 		for _, pr := range s.dispatch[evHardLoss] {
 			pr.OnHardLoss(ev)
@@ -847,6 +869,7 @@ func (s *Simulation) replacePeer(id overlay.PeerID, p *peer, round int64) {
 		s.xferAbortAll(round, id)
 	}
 	s.maint.Reset(id)
+	s.redunReset(id)
 	profile := int(p.profile)
 	if s.cfg.ResampleProfileOnReplace {
 		profile = -1

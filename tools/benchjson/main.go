@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./tools/benchjson                       # BENCH_7.json, engine benches
+//	go run ./tools/benchjson                       # BENCH_8.json, engine benches
 //	go run ./tools/benchjson -out snap.json -benchtime 500x
 //	go run ./tools/benchjson -bench 'BenchmarkSimRound|BenchmarkQuiescentRound'
 //	go run ./tools/benchjson -out new.json -compare BENCH_5.json
@@ -61,8 +61,8 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output JSON file")
-	bench := flag.String("bench", "BenchmarkQuiescentRound|BenchmarkChurnRound|BenchmarkShardedChurnRound|BenchmarkSimRound|BenchmarkTransferRound|BenchmarkFlashCrowdRound|BenchmarkLedgerSessionFlip|BenchmarkMaintainerStep|BenchmarkUptime|BenchmarkViewScore",
+	out := flag.String("out", "BENCH_8.json", "output JSON file")
+	bench := flag.String("bench", "BenchmarkQuiescentRound|BenchmarkChurnRound|BenchmarkAdaptiveChurnRound|BenchmarkShardedChurnRound|BenchmarkSimRound|BenchmarkTransferRound|BenchmarkFlashCrowdRound|BenchmarkLedgerSessionFlip|BenchmarkMaintainerStep|BenchmarkUptime|BenchmarkViewScore",
 		"benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "200x", "go test -benchtime value (fixed counts keep snapshots comparable)")
 	pkg := flag.String("pkg", ".", "package to benchmark")
