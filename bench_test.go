@@ -365,6 +365,56 @@ func BenchmarkShardedChurnRound(b *testing.B) {
 	}
 }
 
+// BenchmarkWalkV3ChurnRound measures the v3 engine (shard-local walk +
+// deterministic merge, -walk=v3) against the v1 walk on the same thin
+// large-population shapes as BenchmarkShardedChurnRound. Under v1 the
+// walk and maintenance phases are sequential whatever the shard count;
+// v3 shards both, so walk=v3 at S>1 is where the 100k/1M curves bend
+// on multi-core machines (on a single-core runner the S>1 rows mostly
+// measure merge overhead — snapshots record gomaxprocs for exactly
+// this reason). v1 and v3 trajectories are intentionally not
+// draw-compatible, so this compares engine generations, not bit-equal
+// runs. The 1M populations are skipped under -short.
+func BenchmarkWalkV3ChurnRound(b *testing.B) {
+	for _, peers := range []int{100000, 1000000} {
+		for _, walk := range []string{sim.WalkV1, sim.WalkV3} {
+			for _, shards := range []int{1, 2, 4, 8} {
+				if walk == sim.WalkV1 && shards > 1 {
+					continue // v1's walk is sequential; S>1 is covered by BenchmarkShardedChurnRound
+				}
+				b.Run(fmt.Sprintf("peers=%d/walk=%s/shards=%d", peers, walk, shards), func(b *testing.B) {
+					if testing.Short() && peers > 100000 {
+						b.Skip("1M-peer population skipped with -short")
+					}
+					cfg := sim.DefaultConfig()
+					cfg.NumPeers = peers
+					cfg.TotalBlocks = 32
+					cfg.DataBlocks = 16
+					cfg.RepairThreshold = 20
+					cfg.Quota = 96
+					cfg.PoolSamplePerRound = 32
+					cfg.AcceptHorizon = 72
+					cfg.Walk = walk
+					cfg.Shards = shards
+					const warmup = 120 // past the shortened monitoring window
+					cfg.Rounds = int64(b.N) + warmup
+					s, err := sim.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for i := 0; i < warmup; i++ {
+						s.StepRound()
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for s.StepRound() {
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkTransferRound measures the per-round engine cost with the
 // transfer scheduler engaged: the paper's churn mix at paper scale over
 // the skewed bandwidth population, so every repair is an in-flight

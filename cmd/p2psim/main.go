@@ -62,6 +62,19 @@
 // whole variants concurrently; prefer -parallel while the campaign has
 // more variants than cores, -shards when a few big runs dominate.
 //
+// -walk selects the engine generation: v1 (default) is the canonical
+// sequential churn walk whose trajectories the original goldens pin;
+// v3 shards the walk and the maintenance phase themselves (per-slot
+// rng streams, effect-log merge at the round barrier) and carries its
+// own versioned trajectory — bit-identical at every -shards value,
+// but not draw-compatible with v1. Use v3 with -shards N to bend the
+// big-population round times on multi-core machines.
+//
+// -phasetimes collects per-phase wall time (walk / merge /
+// maintenance / transfer-drain / evaluation) in every run and prints
+// the campaign-wide breakdown at exit — the first stop when deciding
+// whether -shards/-walk=v3 would pay on a given workload.
+//
 // Scales: smoke (600 peers, 20k rounds), default (2,500 peers, 50k
 // rounds), paper (25,000 peers, 50k rounds - slow). The replay
 // experiment takes its population and length from the trace instead.
@@ -97,6 +110,7 @@ import (
 	"p2pbackup/internal/costmodel"
 	"p2pbackup/internal/experiments"
 	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/sim"
 	"p2pbackup/internal/transfer"
 )
 
@@ -118,6 +132,8 @@ func run() int {
 	bandwidth := flag.String("bandwidth", "", "bandwidth class spec: "+strings.Join(transfer.Presets(), " ")+", or name:prop:up/down[:inflight];... (default: the paper's instant placement)")
 	redundancySpec := flag.String("redundancy", "", "redundancy policy spec: fixed, or adaptive:min=M,max=M2,target=P[,hysteresis=H,eval=E,sample=S] (default: the paper's fixed n per archive)")
 	shards := flag.Int("shards", 0, "per-simulation shard workers for the engine's parallel phases; 0 or 1 = sequential, results are identical at every value")
+	walk := flag.String("walk", "", "engine generation: v1 (canonical sequential walk, the default) or v3 (shard-local walk + deterministic merge; own versioned trajectory, identical at every -shards value)")
+	phasetimes := flag.Bool("phasetimes", false, "collect per-phase wall time (walk/merge/maintenance/transfer-drain/evaluation) and print the campaign-wide breakdown at exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole campaign to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit (go tool pprof)")
 	flag.Parse()
@@ -165,6 +181,8 @@ func run() int {
 		Bandwidth:    *bandwidth,
 		Redundancy:   *redundancySpec,
 		Shards:       *shards,
+		Walk:         *walk,
+		PhaseTimes:   *phasetimes,
 	}
 	if !*quiet {
 		opts.Progress = func(msg string) {
@@ -186,6 +204,9 @@ func run() int {
 		redunGrows, redunShrinks     int64
 		parityAdded, parityReclaimed int64
 		parityCostHours              float64
+
+		phaseSum sim.PhaseTimes
+		phasedN  int64
 	)
 	opts.Events = func(ev experiments.Event) {
 		if ev.Kind != experiments.EventRow || ev.Row == nil {
@@ -194,6 +215,14 @@ func run() int {
 		simRounds.Add(ev.Row.Config.Rounds)
 		col := ev.Row.Result.Collector
 		durMu.Lock()
+		if p := ev.Row.Result.Phases; p != nil {
+			phaseSum.Walk += p.Walk
+			phaseSum.Merge += p.Merge
+			phaseSum.Maintenance += p.Maintenance
+			phaseSum.TransferDrain += p.TransferDrain
+			phaseSum.Evaluation += p.Evaluation
+			phasedN++
+		}
 		ttb.Merge(col.TimeToBackup())
 		ttr.Merge(col.TimeToRestore())
 		restoresFailed += col.RestoresFailed()
@@ -247,6 +276,27 @@ func run() int {
 	if redunGrows > 0 || redunShrinks > 0 {
 		fmt.Fprintf(os.Stderr, "redundancy: %d grows / %d shrinks, +%d/-%d parity blocks, grow upload ~%.0fh on the 2009 DSL uplink\n",
 			redunGrows, redunShrinks, parityAdded, parityReclaimed, parityCostHours)
+	}
+	if phasedN > 0 {
+		total := phaseSum.Walk + phaseSum.Merge + phaseSum.Maintenance +
+			phaseSum.TransferDrain + phaseSum.Evaluation
+		fmt.Fprintf(os.Stderr, "phase times over %d runs (total %v):\n", phasedN, total.Round(time.Millisecond))
+		for _, p := range []struct {
+			name string
+			d    time.Duration
+		}{
+			{"walk", phaseSum.Walk},
+			{"merge", phaseSum.Merge},
+			{"maintenance", phaseSum.Maintenance},
+			{"transfer-drain", phaseSum.TransferDrain},
+			{"evaluation", phaseSum.Evaluation},
+		} {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(p.d) / float64(total)
+			}
+			fmt.Fprintf(os.Stderr, "  %-14s %12v  %5.1f%%\n", p.name, p.d.Round(time.Millisecond), pct)
+		}
 	}
 	return 0
 }

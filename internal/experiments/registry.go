@@ -53,6 +53,16 @@ type Options struct {
 	// speed/parallelism knob, composing with Parallelism, which runs
 	// whole variants concurrently.
 	Shards int
+	// Walk selects the engine generation on every variant: "" or
+	// sim.WalkV1 keeps the canonical sequential churn walk, sim.WalkV3
+	// runs the shard-local walk + deterministic merge engine (its own
+	// versioned trajectory, bit-identical at every shard count; see
+	// internal/sim/walk3.go).
+	Walk string
+	// PhaseTimes turns on per-phase wall-time accounting in every
+	// variant's sim.Result (walk / merge / maintenance / transfer-drain
+	// / evaluation), for the CLI's -phasetimes report.
+	PhaseTimes bool
 	// Progress receives plain-text progress messages (heartbeats and
 	// per-variant completions).
 	Progress func(string)
@@ -175,6 +185,8 @@ func baseFor(opts Options) (sim.Config, error) {
 	}
 	cfg.Seed = opts.Seed
 	cfg.Shards = opts.Shards
+	cfg.Walk = opts.Walk
+	cfg.PhaseTimes = opts.PhaseTimes
 	if opts.StrategySpec != "" {
 		// Parse eagerly so a typo fails before any simulation runs.
 		if _, err := selection.ParseWith(opts.StrategySpec, selection.Defaults{Horizon: cfg.AcceptHorizon}); err != nil {

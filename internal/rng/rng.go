@@ -25,6 +25,15 @@ type Rand struct {
 // Any seed value, including zero, is valid.
 func New(seed uint64) *Rand {
 	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-initialises the generator in place from seed, exactly as
+// New(seed) would. It exists for callers holding generators by value in
+// large arrays (one stream per simulation slot): seeding a million
+// streams must not allocate a million temporaries.
+func (r *Rand) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm, r.s[i] = splitmix64(sm)
@@ -33,7 +42,6 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9E3779B97F4A7C15
 	}
-	return r
 }
 
 // splitmix64 advances the splitmix state and returns (newState, output).

@@ -311,6 +311,25 @@ func TestDeriveDistinctStreams(t *testing.T) {
 	}
 }
 
+func TestReseedMatchesNew(t *testing.T) {
+	// Reseed must leave the generator in exactly the state New would
+	// build — the v3 engine reuses one Rand value per population slot
+	// across rounds and re-initialises it in place.
+	r := New(5)
+	for i := 0; i < 10; i++ {
+		r.Uint64()
+	}
+	for _, seed := range []uint64{0, 1, 42, ^uint64(0)} {
+		r.Reseed(seed)
+		fresh := New(seed)
+		for i := 0; i < 32; i++ {
+			if got, want := r.Uint64(), fresh.Uint64(); got != want {
+				t.Fatalf("Reseed(%d) draw %d = %d, want %d", seed, i, got, want)
+			}
+		}
+	}
+}
+
 func TestDeriveIndependentOfChild(t *testing.T) {
 	// Derive must not alias the Child chain of New(seed): shard streams
 	// and the engine's canonical stream come from the same base seed.

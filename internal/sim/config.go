@@ -47,6 +47,16 @@ type Config struct {
 	// or 1 runs the historical sequential path; values above the slot
 	// count are allowed (the excess shards own empty ranges).
 	Shards int
+	// Walk selects the engine's walk/maintenance execution mode. WalkV1
+	// (the default; "" normalises to it) is the historical sequential
+	// walk whose rng-order invariant pins every pre-v3 golden. WalkV3
+	// runs the churn walk and the maintenance planning phase
+	// shard-locally on per-slot derived rng streams with a deterministic
+	// cross-shard effect merge at the round barrier: results are
+	// bit-identical at every Shards value *within v3*, but draw order —
+	// and therefore the digest — differs from v1 by construction. See
+	// the "v3 walk" comment in walk3.go for the invariant.
+	Walk string
 
 	// TotalBlocks (n), DataBlocks (k): erasure-code shape. Paper: 256/128.
 	TotalBlocks int
@@ -166,10 +176,29 @@ type Config struct {
 	// scale; meant for small runs and tracegen).
 	RecordTrace bool
 
+	// PhaseTimes enables per-phase wall-time accounting: Result.Phases
+	// reports the cumulative walk / merge / maintenance / transfer-drain
+	// / evaluation durations at run end (the p2psim -phasetimes flag).
+	// Off by default; it never changes a trajectory, only adds two clock
+	// reads per phase per round.
+	PhaseTimes bool
+
 	// Progress, if non-nil, is called once per ProgressEvery rounds.
 	Progress      func(round int64)
 	ProgressEvery int64
 }
+
+// Walk mode names for Config.Walk.
+const (
+	// WalkV1 is the historical sequential walk (the default): one
+	// canonical rng stream, the v1 rng-order invariant, every pre-v3
+	// golden digest bit-identical.
+	WalkV1 = "v1"
+	// WalkV3 is the shard-parallel walk: per-slot derived rng streams,
+	// shard-local walk and maintenance planning, deterministic effect
+	// merge. Digests are pinned separately from v1.
+	WalkV3 = "v3"
+)
 
 // DefaultConfig returns the paper's parameters at full scale.
 func DefaultConfig() Config {
@@ -276,6 +305,24 @@ func (c Config) Validate() (Config, error) {
 	}
 	if c.Shards < 0 {
 		return c, fmt.Errorf("sim: Shards = %d must be >= 0", c.Shards)
+	}
+	switch c.Walk {
+	case "":
+		c.Walk = WalkV1
+	case WalkV1, WalkV3:
+	default:
+		return c, fmt.Errorf("sim: unknown walk mode %q (want %q or %q)", c.Walk, WalkV1, WalkV3)
+	}
+	if c.Walk == WalkV3 {
+		// Guard against silent mode drift: every option the v3 path does
+		// not support is rejected by name rather than silently falling
+		// back to v1 semantics.
+		if c.Strategy != nil {
+			return c, fmt.Errorf("sim: Walk = %q does not support the deprecated Strategy option (set Policy or StrategySpec)", WalkV3)
+		}
+		if !selection.HasPureScore(c.Policy) {
+			return c, fmt.Errorf("sim: Walk = %q requires a policy with a pure Score (selection.HasPureScore); the shard-local planner evaluates scores concurrently", WalkV3)
+		}
 	}
 	if c.NumPeers < 2 {
 		return c, fmt.Errorf("sim: NumPeers = %d too small", c.NumPeers)

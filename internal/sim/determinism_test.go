@@ -168,6 +168,19 @@ func TestGoldenScenarioDigests(t *testing.T) {
 	}
 }
 
+// TestGoldenWalkV1Explicit guards against walk-mode drift: an explicit
+// Walk=v1 must be byte-for-byte the zero-value default — both reproduce
+// the pre-versioning goldens, so introducing the v3 engine changed
+// nothing about existing configs.
+func TestGoldenWalkV1Explicit(t *testing.T) {
+	cfg := digestConfig()
+	cfg.Walk = WalkV1
+	const want uint64 = 0xb0298adf8abb6acd // the "iid" golden above
+	if got := digestRun(t, cfg); got != want {
+		t.Errorf("Walk=v1 digest = %#x, want golden %#x (v1 path drifted)", got, want)
+	}
+}
+
 // TestGoldenReplayDigest records a trace from a generative run and
 // replays it under a different selection strategy: the replay engine's
 // event stream must also stay bit-identical to the scan engine's.

@@ -34,7 +34,11 @@ package sim
 // at slot j changes what slot i > j observes, watcher crossings grow
 // the same round's walk membership), and maintenance contends for host
 // quota in shuffled order. Parallelising either would change
-// trajectories, which the goldens forbid.
+// trajectories, which the goldens forbid. The v3 engine (Config.Walk =
+// WalkV3, walk3.go) removes that blocker by changing the invariant
+// itself — per-slot rng streams and an effect-log merge — and
+// therefore carries its own versioned digest set instead of the v1
+// goldens.
 
 import (
 	"sync"
@@ -172,7 +176,13 @@ func (s *Simulation) applyHistOps() {
 // randomness and writes only memo entries the lazy path would compute
 // to the same values.
 func (s *Simulation) warmWorthwhile() bool {
-	return len(s.actors)*s.cfg.PoolSamplePerRound >= s.cfg.NumPeers/2
+	return s.warmWorthwhileN(len(s.actors))
+}
+
+// warmWorthwhileN is warmWorthwhile for an externally tallied actor
+// count (the v3 engine counts actors per shard worker).
+func (s *Simulation) warmWorthwhileN(actors int) bool {
+	return actors*s.cfg.PoolSamplePerRound >= s.cfg.NumPeers/2
 }
 
 // warmCaches materialises the per-round view memo (and, when the score

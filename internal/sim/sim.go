@@ -36,7 +36,11 @@
 // armed-but-idle visits consume no randomness and emit no events. The
 // golden digests in determinism_test.go hold the engine to the scan
 // engine's event stream bit for bit under iid, diurnal, shock and
-// replay churn.
+// replay churn. This invariant governs the default (v1) walk; the v3
+// engine (Config.Walk = WalkV3, see walk3.go) instead derives one rng
+// stream per slot and merges cross-shard effects deterministically at
+// the round barrier, trading v1 draw compatibility for a parallel walk
+// under its own versioned digest set.
 //
 // # Measurement
 //
@@ -110,6 +114,9 @@ type Result struct {
 	FinalPlacements int
 	// FinalIncluded is how many peers had a complete archive at the end.
 	FinalIncluded int
+	// Phases is the per-phase wall-time breakdown, non-nil only when
+	// Config.PhaseTimes asked for it.
+	Phases *PhaseTimes
 }
 
 // Simulation is a configured run. Create with New, execute with Run.
@@ -185,6 +192,14 @@ type Simulation struct {
 	// the v2 rng-order invariant (see shard.go). nil runs the
 	// historical sequential path.
 	shards *shardState
+
+	// v3 is the shard-parallel walk/maintenance engine state
+	// (Config.Walk = WalkV3, see walk3.go). nil runs the v1 walk.
+	v3 *v3State
+
+	// phases accumulates the per-phase wall-time breakdown; recording
+	// is active only when Config.PhaseTimes is set (see phasetime.go).
+	phases *PhaseTimes
 }
 
 // New validates the config and builds a ready-to-run simulation.
@@ -266,6 +281,18 @@ func New(cfg Config) (*Simulation, error) {
 	if cfg.Shards >= 2 {
 		s.shards = newShardState(cfg)
 	}
+	if cfg.Walk == WalkV3 {
+		if s.shards == nil {
+			// v3 runs the sharded code path (warm, inclusion scan, range
+			// partitioning) even at a single shard, so S=1 and S=k execute
+			// identical code.
+			one := cfg
+			one.Shards = 1
+			s.shards = newShardState(one)
+		}
+		s.v3 = newV3State(s)
+	}
+	s.phases = &PhaseTimes{}
 
 	if cfg.Bandwidth != nil || len(cfg.Restores) > 0 {
 		// The transfer machinery exists only when asked for; without it
@@ -606,7 +633,7 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 		}
 	}
 	included := s.countIncluded()
-	return &Result{
+	res := &Result{
 		Config:          s.cfg,
 		Collector:       s.col,
 		Observers:       s.obs,
@@ -615,7 +642,11 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 		Cancels:         s.cancels,
 		FinalPlacements: s.led.TotalPlacements(),
 		FinalIncluded:   included,
-	}, nil
+	}
+	if s.cfg.PhaseTimes {
+		res.Phases = s.phases
+	}
+	return res, nil
 }
 
 // stepRound advances one round: shocks first, then churn events (from
@@ -636,7 +667,12 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 // which is what makes a quiescent round O(events) instead of
 // O(NumPeers).
 func (s *Simulation) stepRound() {
+	if s.v3 != nil {
+		s.stepRoundV3()
+		return
+	}
 	round := s.round
+	pt := s.phaseStart()
 	s.actors = s.actors[:0]
 	s.curQ, s.nextQ = s.nextQ, s.curQ
 	s.walkPos = -1
@@ -672,6 +708,7 @@ func (s *Simulation) stepRound() {
 		s.visitSlot(round, overlay.PeerID(id))
 	}
 	s.walkPos = math.MaxInt32
+	s.phaseLap(&s.phases.Walk, &pt)
 
 	// Sharded barrier: apply the walk's deferred history mutations, one
 	// worker per shard. Must complete before anything reads a history —
@@ -680,6 +717,7 @@ func (s *Simulation) stepRound() {
 	if s.shards != nil {
 		s.applyHistOps()
 	}
+	s.phaseLap(&s.phases.Merge, &pt)
 
 	// Phase 1.5: due transfer completions, after the churn walk so a
 	// same-round death or offline event wins over the completion (the
@@ -689,6 +727,7 @@ func (s *Simulation) stepRound() {
 	if s.xfer != nil {
 		s.stepTransfers(round)
 	}
+	s.phaseLap(&s.phases.TransferDrain, &pt)
 
 	// Phase 1.6: adaptive redundancy evaluation, after the history
 	// barrier (it reads monitored uptimes) and before the maintenance
@@ -697,6 +736,7 @@ func (s *Simulation) stepRound() {
 	if s.redun != nil {
 		s.stepRedundancy(round)
 	}
+	s.phaseLap(&s.phases.Evaluation, &pt)
 
 	// Sharded warm phase: when the actor set will probe a large
 	// fraction of the population, materialise every slot's view (and
@@ -715,34 +755,7 @@ func (s *Simulation) stepRound() {
 	})
 	for _, id := range s.actors {
 		res := s.maint.Step(s.r, id)
-		ev := s.peerEvent(round, id)
-		switch res.Outcome {
-		case maintenance.OutcomeRepaired, maintenance.OutcomeInitialDone:
-			re := RepairEvent{
-				PeerEvent: ev,
-				Initial:   res.Outcome == maintenance.OutcomeInitialDone,
-				Uploaded:  res.Uploaded,
-				Dropped:   res.Dropped,
-				Elapsed:   round - s.maint.EpisodeStart(id),
-			}
-			for _, pr := range s.dispatch[evRepair] {
-				pr.OnRepair(re)
-			}
-		case maintenance.OutcomeStalled:
-			for _, pr := range s.dispatch[evStall] {
-				pr.OnStall(ev)
-			}
-			if res.OutageStarted {
-				for _, pr := range s.dispatch[evOutage] {
-					pr.OnOutage(ev)
-				}
-			}
-		case maintenance.OutcomeCanceled:
-			s.cancels++
-			for _, pr := range s.dispatch[evCancel] {
-				pr.OnCancel(ev)
-			}
-		}
+		s.emitMaintOutcome(round, id, res)
 	}
 
 	// Observers act after the population (they contend with nobody).
@@ -771,6 +784,7 @@ func (s *Simulation) stepRound() {
 	for _, pr := range s.dispatch[evRoundEnd] {
 		pr.OnRoundEnd(end)
 	}
+	s.phaseLap(&s.phases.Maintenance, &pt)
 }
 
 // visitSlot runs the per-slot round body for one walked slot: due

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./tools/benchjson                       # BENCH_8.json, engine benches
+//	go run ./tools/benchjson                       # BENCH_9.json, engine benches
 //	go run ./tools/benchjson -out snap.json -benchtime 500x
 //	go run ./tools/benchjson -bench 'BenchmarkSimRound|BenchmarkQuiescentRound'
 //	go run ./tools/benchjson -out new.json -compare BENCH_5.json
@@ -56,13 +56,14 @@ type Snapshot struct {
 	GOARCH     string      `json:"goarch"`
 	CPU        string      `json:"cpu,omitempty"`
 	NumCPU     int         `json:"num_cpu"`
+	GOMAXPROCS int         `json:"gomaxprocs,omitempty"`
 	Timestamp  string      `json:"timestamp"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "output JSON file")
-	bench := flag.String("bench", "BenchmarkQuiescentRound|BenchmarkChurnRound|BenchmarkAdaptiveChurnRound|BenchmarkShardedChurnRound|BenchmarkSimRound|BenchmarkTransferRound|BenchmarkFlashCrowdRound|BenchmarkLedgerSessionFlip|BenchmarkMaintainerStep|BenchmarkUptime|BenchmarkViewScore",
+	out := flag.String("out", "BENCH_9.json", "output JSON file")
+	bench := flag.String("bench", "BenchmarkQuiescentRound|BenchmarkChurnRound|BenchmarkAdaptiveChurnRound|BenchmarkShardedChurnRound|BenchmarkWalkV3ChurnRound|BenchmarkSimRound|BenchmarkTransferRound|BenchmarkFlashCrowdRound|BenchmarkLedgerSessionFlip|BenchmarkMaintainerStep|BenchmarkUptime|BenchmarkViewScore",
 		"benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "200x", "go test -benchtime value (fixed counts keep snapshots comparable)")
 	pkg := flag.String("pkg", ".", "package to benchmark")
@@ -85,12 +86,13 @@ func main() {
 	}
 
 	snap := Snapshot{
-		Bench:     *bench,
-		BenchTime: *benchtime,
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Bench:      *bench,
+		BenchTime:  *benchtime,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
 	sc := bufio.NewScanner(bytes.NewReader(raw))
 	for sc.Scan() {
@@ -152,6 +154,23 @@ func compareSnapshots(path string, snap Snapshot, maxRegress float64, benchRegex
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: -bench %q: %v\n", benchRegex, err)
 		return false
+	}
+	// Parallel-phase benchmarks scale with cores, so ns/op deltas across
+	// differing core counts mix machine shape into the perf signal. Warn
+	// — don't gate — so a single-core CI baseline is still usable and the
+	// caveat is on the record. Old snapshots predate the gomaxprocs
+	// field; fall back to num_cpu for them.
+	baseProcs, nowProcs := base.GOMAXPROCS, snap.GOMAXPROCS
+	if baseProcs == 0 {
+		baseProcs = base.NumCPU
+	}
+	if nowProcs == 0 {
+		nowProcs = snap.NumCPU
+	}
+	if baseProcs != nowProcs || base.NumCPU != snap.NumCPU {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: warning: comparing across core counts (baseline %d cpu / %d procs, this run %d cpu / %d procs); parallel-phase deltas reflect the machine as much as the code\n",
+			base.NumCPU, baseProcs, snap.NumCPU, nowProcs)
 	}
 	fresh := make(map[string]Benchmark, len(snap.Benchmarks))
 	for _, b := range snap.Benchmarks {
