@@ -6,7 +6,9 @@
 package p2pbackup
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"testing"
 
 	"p2pbackup/internal/churn"
@@ -23,6 +25,16 @@ import (
 	"p2pbackup/internal/sim"
 	"p2pbackup/internal/transfer"
 )
+
+// TestMain doubles this binary as a campaign worker: the supervised
+// benchmarks re-exec os.Args[0] with P2PSIM_TEST_WORKER set, exactly as
+// the experiments package's own supervisor tests do.
+func TestMain(m *testing.M) {
+	if os.Getenv("P2PSIM_TEST_WORKER") == "1" {
+		os.Exit(experiments.WorkerMain(os.Stdin, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
 
 // benchConfig is the smoke preset shortened further for benchmarking.
 func benchConfig(b *testing.B) sim.Config {
@@ -475,6 +487,74 @@ func BenchmarkFlashCrowdRound(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for s.StepRound() {
+	}
+}
+
+// supervisedBenchSpec is a one-variant micro campaign for the process
+// supervision benchmarks: small enough that the worker process's spawn,
+// JSON handshake and result snapshot are a visible share of the cost.
+func supervisedBenchSpec() experiments.CampaignSpec {
+	return experiments.CampaignSpec{
+		Kind:   "repair-delay",
+		Scale:  experiments.ScaleSmoke,
+		Seed:   3,
+		Delays: []int{0},
+		Overrides: &experiments.ConfigOverrides{
+			NumPeers: 100, Rounds: 300, TotalBlocks: 16, DataBlocks: 8,
+			RepairThreshold: 10, Quota: 48, PoolSamplePerRound: 32, AcceptHorizon: 48,
+		},
+	}
+}
+
+// BenchmarkSupervisedVariant measures one campaign variant executed
+// through the fault-tolerant process supervisor: worker spawn, spec
+// handshake, the simulation itself, and the JSON result snapshot
+// crossing the pipe. Against BenchmarkInProcessVariant the delta is the
+// full isolation overhead a supervised campaign pays per variant.
+func BenchmarkSupervisedVariant(b *testing.B) {
+	spec := supervisedBenchSpec()
+	camp, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sup := &experiments.Supervisor{
+		Procs:     1,
+		WorkerCmd: []string{os.Args[0]},
+		WorkerEnv: []string{"P2PSIM_TEST_WORKER=1"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := sup.Run(context.Background(), spec, camp, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 1 {
+			b.Fatalf("got %d rows, want 1", len(rows))
+		}
+	}
+}
+
+// BenchmarkInProcessVariant runs the identical variant on the in-process
+// Runner: the baseline the supervisor's isolation overhead is measured
+// against.
+func BenchmarkInProcessVariant(b *testing.B) {
+	spec := supervisedBenchSpec()
+	camp, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := experiments.Runner{Parallelism: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Run(context.Background(), camp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 1 {
+			b.Fatalf("got %d rows, want 1", len(rows))
+		}
 	}
 }
 

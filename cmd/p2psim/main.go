@@ -83,6 +83,23 @@
 // bounded worker pool and stream typed events; Ctrl-C cancels the
 // whole campaign cleanly, including simulations already in flight.
 //
+// -procs N switches campaigns to the fault-tolerant process
+// supervisor: each variant runs in an isolated worker process (this
+// binary re-exec'd with -worker), with per-variant timeouts
+// (-variant-timeout), heartbeat stall detection, and classified
+// retries (panic / OOM-kill / hang / exit) with exponential backoff.
+// Completed variants are checkpointed to an append-only journal
+// (<out>/campaign.journal when -out is set); -resume FILE reloads a
+// journal and re-runs only the variants without a completed row.
+// Deterministic seeding makes supervised results bit-identical to
+// in-process runs, crashes and retries included. Variants that
+// exhaust their retries become typed failure rows: the campaign
+// completes, the failures are summarised on stderr, and the exit
+// code is 3.
+//
+// -worker is internal: run one variant as a supervisor's child
+// (request on stdin, heartbeats and result on stdout).
+//
 // -cpuprofile and -memprofile write pprof profiles of the campaign
 // (CPU over the whole run, heap at exit), so the engine's hot paths
 // can be inspected without a throwaway harness:
@@ -100,6 +117,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -136,7 +154,15 @@ func run() int {
 	phasetimes := flag.Bool("phasetimes", false, "collect per-phase wall time (walk/merge/maintenance/transfer-drain/evaluation) and print the campaign-wide breakdown at exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole campaign to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit (go tool pprof)")
+	worker := flag.Bool("worker", false, "internal: run one campaign variant as a supervisor's worker (request on stdin, result on stdout)")
+	procs := flag.Int("procs", 0, "run campaigns under the fault-tolerant process supervisor with this many worker processes (0 = in-process)")
+	variantTimeout := flag.Duration("variant-timeout", 0, "kill a supervised variant attempt running longer than this (0 = no limit; needs -procs)")
+	resume := flag.String("resume", "", "resume from this checkpoint journal, re-running only unfinished variants (needs -procs)")
 	flag.Parse()
+
+	if *worker {
+		return experiments.WorkerMain(os.Stdin, os.Stdout, os.Stderr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -184,6 +210,20 @@ func run() int {
 		Walk:         *walk,
 		PhaseTimes:   *phasetimes,
 	}
+	if *resume != "" && *procs <= 0 {
+		fmt.Fprintln(os.Stderr, "p2psim: -resume needs -procs")
+		return 1
+	}
+	if *procs > 0 {
+		opts.Procs = *procs
+		opts.VariantTimeout = *variantTimeout
+		if *resume != "" {
+			opts.JournalPath = *resume
+			opts.Resume = true
+		} else if *out != "" {
+			opts.JournalPath = filepath.Join(*out, "campaign.journal")
+		}
+	}
 	if !*quiet {
 		opts.Progress = func(msg string) {
 			fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), msg)
@@ -208,7 +248,13 @@ func run() int {
 		phaseSum sim.PhaseTimes
 		phasedN  int64
 	)
+	var failedVariants atomic.Int64
 	opts.Events = func(ev experiments.Event) {
+		if ev.Kind == experiments.EventFailed {
+			failedVariants.Add(1)
+			fmt.Fprintln(os.Stderr, "p2psim: variant failed:", ev.Message)
+			return
+		}
 		if ev.Kind != experiments.EventRow || ev.Row == nil {
 			return
 		}
@@ -297,6 +343,10 @@ func run() int {
 			}
 			fmt.Fprintf(os.Stderr, "  %-14s %12v  %5.1f%%\n", p.name, p.d.Round(time.Millisecond), pct)
 		}
+	}
+	if n := failedVariants.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "p2psim: %d variant(s) failed permanently; partial results written\n", n)
+		return 3
 	}
 	return 0
 }

@@ -184,6 +184,7 @@ func redundancyAdaptiveSpec(opts Options) string {
 // base seed so the experiment stays a deterministic function of
 // (scale, seed)).
 func runRedundancy(ctx context.Context, opts Options) ([]Summary, error) {
+	spec := opts.spec("fixed-vs-adaptive")
 	var trace *churn.Trace
 	if opts.TracePath != "" {
 		t, err := churn.ReadTraceFile(opts.TracePath)
@@ -213,6 +214,14 @@ func runRedundancy(ctx context.Context, opts Options) ([]Summary, error) {
 			return nil, err
 		}
 		trace = res.Trace
+		if opts.supervised() {
+			path, cleanup, err := materializeTraceFile(trace, "p2psim-redundancy")
+			if err != nil {
+				return nil, err
+			}
+			defer cleanup()
+			spec.TracePath = path
+		}
 	}
 
 	cfg, err := baseFor(opts)
@@ -220,7 +229,7 @@ func runRedundancy(ctx context.Context, opts Options) ([]Summary, error) {
 		return nil, err
 	}
 	camp := RedundancyCampaign(cfg, trace, redundancyAdaptiveSpec(opts))
-	rows, err := collectRows(ctx, opts.runner(), camp, opts.sink(doneMessage(camp.Name)))
+	rows, err := opts.collect(ctx, opts.runner(), camp, spec, opts.sink(doneMessage(camp.Name)))
 	if err != nil {
 		return nil, err
 	}

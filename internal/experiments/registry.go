@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"p2pbackup/internal/churn"
 	"p2pbackup/internal/costmodel"
@@ -63,6 +66,35 @@ type Options struct {
 	// variant's sim.Result (walk / merge / maintenance / transfer-drain
 	// / evaluation), for the CLI's -phasetimes report.
 	PhaseTimes bool
+	// Procs, when > 0, runs every campaign under the fault-tolerant
+	// process supervisor instead of the in-process Runner: each variant
+	// executes in an isolated worker process (the `p2psim -worker`
+	// protocol) with per-variant timeouts, heartbeat stall detection,
+	// classified retries with exponential backoff, and optional
+	// checkpoint journaling. Results are bit-identical to the
+	// in-process run (see Supervisor).
+	Procs int
+	// VariantTimeout kills a supervised variant attempt that runs
+	// longer (0 = no limit). Supervised mode only.
+	VariantTimeout time.Duration
+	// HeartbeatGrace kills a supervised attempt whose worker goes
+	// silent for this long; 0 picks a 30s default. Supervised mode only.
+	HeartbeatGrace time.Duration
+	// Retry bounds supervised retries (zero fields mean 3 attempts,
+	// 500ms base backoff, 10s cap). Supervised mode only.
+	Retry RetryPolicy
+	// JournalPath, when non-empty in supervised mode, checkpoints every
+	// finished variant to this append-only fsynced JSONL journal. Unless
+	// Resume is set the file is truncated once per RunCtx call.
+	JournalPath string
+	// Resume keeps JournalPath's existing entries and re-runs only
+	// variants without a completed row for the same campaign spec.
+	Resume bool
+	// WorkerCmd overrides the worker argv (default: this executable
+	// with -worker appended). WorkerEnv entries are appended to each
+	// worker's environment. Supervised mode only; tests use these.
+	WorkerCmd []string
+	WorkerEnv []string
 	// Progress receives plain-text progress messages (heartbeats and
 	// per-variant completions).
 	Progress func(string)
@@ -74,6 +106,51 @@ type Options struct {
 // runner builds the execution policy an Options implies.
 func (o Options) runner() Runner {
 	return Runner{Parallelism: o.Parallelism}
+}
+
+// supervised reports whether campaigns run under the process
+// supervisor rather than the in-process Runner.
+func (o Options) supervised() bool { return o.Procs > 0 }
+
+// collect executes a campaign with the execution layer the Options
+// select: the in-process Runner, or — when Procs is set — the process
+// supervisor, rebuilding the campaign in each worker from spec.
+func (o Options) collect(ctx context.Context, r Runner, camp Campaign, spec CampaignSpec, sink func(Event)) ([]Row, error) {
+	if !o.supervised() {
+		return collectRows(ctx, r, camp, sink)
+	}
+	grace := o.HeartbeatGrace
+	if grace <= 0 {
+		grace = 30 * time.Second
+	}
+	sup := &Supervisor{
+		Procs:          o.Procs,
+		VariantTimeout: o.VariantTimeout,
+		HeartbeatGrace: grace,
+		Retry:          o.Retry,
+		WorkerCmd:      o.WorkerCmd,
+		WorkerEnv:      o.WorkerEnv,
+		JournalPath:    o.JournalPath,
+		Resume:         o.Resume,
+	}
+	return sup.Run(ctx, spec, camp, sink)
+}
+
+// spec seeds a CampaignSpec of the given kind with the Options' shared
+// knobs; callers add the kind's sweep parameters.
+func (o Options) spec(kind string) CampaignSpec {
+	return CampaignSpec{
+		Kind:         kind,
+		Scale:        o.Scale,
+		Seed:         o.Seed,
+		StrategySpec: o.StrategySpec,
+		Bandwidth:    o.Bandwidth,
+		Redundancy:   o.Redundancy,
+		Shards:       o.Shards,
+		Walk:         o.Walk,
+		PhaseTimes:   o.PhaseTimes,
+		TracePath:    o.TracePath,
+	}
 }
 
 // sink merges the typed event sink and the plain-text progress callback.
@@ -117,6 +194,21 @@ func RunCtx(ctx context.Context, name string, opts Options) ([]Summary, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	// A fresh supervised run truncates the journal exactly once, then
+	// flips to resume semantics: every campaign of this call (several
+	// for "all") appends to the same journal, disambiguated by spec
+	// fingerprints.
+	if opts.supervised() && opts.JournalPath != "" && !opts.Resume {
+		if dir := filepath.Dir(opts.JournalPath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, fmt.Errorf("experiments: creating journal directory: %w", err)
+			}
+		}
+		if err := os.WriteFile(opts.JournalPath, nil, 0o644); err != nil {
+			return nil, fmt.Errorf("experiments: truncating journal: %w", err)
+		}
+		opts.Resume = true
+	}
 	switch name {
 	case "fig1", "fig2":
 		return runFigs12(ctx, opts)
@@ -125,25 +217,31 @@ func RunCtx(ctx context.Context, name string, opts Options) ([]Summary, error) {
 	case "costmodel":
 		return runCostModel(opts)
 	case "ablation-strategy":
-		return runAblation(ctx, opts, "ablation_strategy.tsv", StrategyCampaign)
+		return runAblation(ctx, opts, "ablation_strategy.tsv", opts.spec("strategy"), StrategyCampaign)
 	case "ablation-availability":
-		return runAblation(ctx, opts, "ablation_availability.tsv", AvailabilityCampaign)
+		return runAblation(ctx, opts, "ablation_availability.tsv", opts.spec("availability"), AvailabilityCampaign)
 	case "ablation-delay":
-		return runAblation(ctx, opts, "ablation_delay.tsv", func(cfg sim.Config) Campaign {
-			return RepairDelayCampaign(cfg, []int{0, 6, 24, 72})
+		spec := opts.spec("repair-delay")
+		spec.Delays = []int{0, 6, 24, 72}
+		return runAblation(ctx, opts, "ablation_delay.tsv", spec, func(cfg sim.Config) Campaign {
+			return RepairDelayCampaign(cfg, spec.Delays)
 		})
 	case "ablation-horizon":
-		return runAblation(ctx, opts, "ablation_horizon.tsv", func(cfg sim.Config) Campaign {
-			return HorizonCampaign(cfg, []int64{30 * churn.Day, 90 * churn.Day, 180 * churn.Day})
+		spec := opts.spec("horizon")
+		spec.Horizons = []int64{30 * churn.Day, 90 * churn.Day, 180 * churn.Day}
+		return runAblation(ctx, opts, "ablation_horizon.tsv", spec, func(cfg sim.Config) Campaign {
+			return HorizonCampaign(cfg, spec.Horizons)
 		})
 	case "ablation-estimator":
 		return runEstimator(ctx, opts)
 	case "diurnal":
-		return runAblation(ctx, opts, "scenario_diurnal.tsv", func(cfg sim.Config) Campaign {
-			return DiurnalCampaign(cfg, []float64{0, 0.3, 0.6, 0.9})
+		spec := opts.spec("diurnal")
+		spec.Amplitudes = []float64{0, 0.3, 0.6, 0.9}
+		return runAblation(ctx, opts, "scenario_diurnal.tsv", spec, func(cfg sim.Config) Campaign {
+			return DiurnalCampaign(cfg, spec.Amplitudes)
 		})
 	case "blackout":
-		return runAblation(ctx, opts, "scenario_blackout.tsv", BlackoutCampaign)
+		return runAblation(ctx, opts, "scenario_blackout.tsv", opts.spec("blackout"), BlackoutCampaign)
 	case "replay":
 		if opts.TracePath == "" {
 			return nil, fmt.Errorf("experiments: replay needs a churn trace (-trace FILE; generate one with 'tracegen gen')")
@@ -152,15 +250,15 @@ func RunCtx(ctx context.Context, name string, opts Options) ([]Summary, error) {
 		if err != nil {
 			return nil, err
 		}
-		return runAblation(ctx, opts, "scenario_replay.tsv", func(cfg sim.Config) Campaign {
+		return runAblation(ctx, opts, "scenario_replay.tsv", opts.spec("replay"), func(cfg sim.Config) Campaign {
 			return ReplayCampaign(cfg, trace)
 		})
 	case "transfer-baseline":
-		return runTransfer(ctx, opts, "scenario_transfer_baseline.tsv", TransferBaselineCampaign)
+		return runTransfer(ctx, opts, "scenario_transfer_baseline.tsv", opts.spec("transfer-baseline"), TransferBaselineCampaign)
 	case "flashcrowd":
-		return runTransfer(ctx, opts, "scenario_flashcrowd.tsv", FlashCrowdCampaign)
+		return runTransfer(ctx, opts, "scenario_flashcrowd.tsv", opts.spec("flashcrowd"), FlashCrowdCampaign)
 	case "uplink-sweep":
-		return runTransfer(ctx, opts, "scenario_uplink_sweep.tsv", UplinkSweepCampaign)
+		return runTransfer(ctx, opts, "scenario_uplink_sweep.tsv", opts.spec("uplink-sweep"), UplinkSweepCampaign)
 	case "fixed-vs-adaptive":
 		return runRedundancy(ctx, opts)
 	case "all":
@@ -222,6 +320,7 @@ const estimatorTraceRounds = 10000
 // strategy) with a seed derived from the base seed, so the whole
 // experiment stays a deterministic function of (scale, seed).
 func runEstimator(ctx context.Context, opts Options) ([]Summary, error) {
+	spec := opts.spec("estimator")
 	var trace *churn.Trace
 	if opts.TracePath != "" {
 		t, err := churn.ReadTraceFile(opts.TracePath)
@@ -251,10 +350,52 @@ func runEstimator(ctx context.Context, opts Options) ([]Summary, error) {
 			return nil, err
 		}
 		trace = res.Trace
+		if opts.supervised() {
+			path, cleanup, err := materializeTraceFile(trace, "p2psim-estimator")
+			if err != nil {
+				return nil, err
+			}
+			defer cleanup()
+			spec.TracePath = path
+		}
 	}
-	return runAblation(ctx, opts, "ablation_estimator.tsv", func(cfg sim.Config) Campaign {
+	return runAblation(ctx, opts, "ablation_estimator.tsv", spec, func(cfg sim.Config) Campaign {
 		return EstimatorCampaign(cfg, trace)
 	})
+}
+
+// materializeTraceFile writes an internally recorded churn trace to a
+// temp JSONL file so worker processes replay exactly the same churn
+// the parent recorded (the JSONL round trip is lossless — see
+// internal/churn's fuzz tests). The final name is derived from the
+// trace content, not a random suffix: the path lands in the campaign
+// spec, and the spec's fingerprint keys the checkpoint journal — a
+// re-recorded (deterministic) trace must map to the same fingerprint
+// or -resume would re-run every variant of trace-backed campaigns.
+// The caller removes it after the campaign.
+func materializeTraceFile(trace *churn.Trace, prefix string) (string, func(), error) {
+	f, err := os.CreateTemp("", prefix+"-*.jsonl")
+	if err != nil {
+		return "", nil, err
+	}
+	tmp := f.Name()
+	f.Close()
+	if err := churn.WriteTraceFile(tmp, trace); err != nil {
+		os.Remove(tmp)
+		return "", nil, err
+	}
+	raw, err := os.ReadFile(tmp)
+	if err != nil {
+		os.Remove(tmp)
+		return "", nil, err
+	}
+	sum := sha256.Sum256(raw)
+	path := filepath.Join(os.TempDir(), fmt.Sprintf("%s-%s.jsonl", prefix, hex.EncodeToString(sum[:8])))
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", nil, err
+	}
+	return path, func() { os.Remove(path) }, nil
 }
 
 func writeFile(opts Options, name string, emit func(io.Writer) error) (string, error) {
@@ -285,7 +426,7 @@ func runFigs12(ctx context.Context, opts Options) ([]Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := collectRows(ctx, opts.runner(), camp, opts.sink(thresholdDoneMessage))
+	rows, err := opts.collect(ctx, opts.runner(), camp, opts.spec("threshold"), opts.sink(thresholdDoneMessage))
 	if err != nil {
 		return nil, err
 	}
@@ -320,9 +461,12 @@ func runFigs34(ctx context.Context, opts Options) ([]Summary, error) {
 	r := opts.runner()
 	r.Parallelism = 1
 	r.RoundEvents = opts.Progress != nil || opts.Events != nil
-	rows, err := collectRows(ctx, r, FocalCampaign(cfg), opts.sink(nil))
+	rows, err := opts.collect(ctx, r, FocalCampaign(cfg), opts.spec("focal"), opts.sink(nil))
 	if err != nil {
 		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("experiments: focal run failed; no rows to report")
 	}
 	focal := FocalFromRow(rows[0])
 	focal.Scale = opts.Scale
@@ -380,13 +524,13 @@ func runCostModel(opts Options) ([]Summary, error) {
 	return []Summary{{Name: "costmodel", Files: files, Text: text}}, nil
 }
 
-func runAblation(ctx context.Context, opts Options, filename string, build func(sim.Config) Campaign) ([]Summary, error) {
+func runAblation(ctx context.Context, opts Options, filename string, spec CampaignSpec, build func(sim.Config) Campaign) ([]Summary, error) {
 	cfg, err := baseFor(opts)
 	if err != nil {
 		return nil, err
 	}
 	camp := build(cfg)
-	rows, err := collectRows(ctx, opts.runner(), camp, opts.sink(doneMessage(camp.Name)))
+	rows, err := opts.collect(ctx, opts.runner(), camp, spec, opts.sink(doneMessage(camp.Name)))
 	if err != nil {
 		return nil, err
 	}

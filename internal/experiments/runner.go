@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"p2pbackup/internal/sim"
@@ -51,10 +52,16 @@ const (
 	// EventDone is the final event of a campaign stream; Err carries
 	// the campaign error, if any.
 	EventDone
+	// EventFailed reports a variant that crashed (panic in-process, or
+	// exhausted its retries under the supervisor) and was contained:
+	// Err carries the typed failure — *sim.PanicError for an in-process
+	// panic — and the campaign continues with its remaining variants.
+	EventFailed
 )
 
-var eventKindNames = [...]string{"progress", "row", "done"}
+var eventKindNames = [...]string{"progress", "row", "done", "failed"}
 
+// String names the kind for logs and progress messages.
 func (k EventKind) String() string {
 	if k >= 0 && int(k) < len(eventKindNames) {
 		return eventKindNames[k]
@@ -68,9 +75,9 @@ type Event struct {
 	Campaign string
 	Variant  int    // variant index, -1 for campaign-scoped events
 	Name     string // variant name, "" for campaign-scoped events
-	Message  string // progress text (EventProgress)
+	Message  string // progress text (EventProgress, EventFailed)
 	Row      *Row   // completed run (EventRow)
-	Err      error  // terminal error (EventDone)
+	Err      error  // terminal error (EventDone) or contained failure (EventFailed)
 }
 
 // Row is one completed variant run.
@@ -96,7 +103,10 @@ type Runner struct {
 // Run executes the campaign and returns its rows ordered by variant
 // index. It blocks until every variant finished or ctx is cancelled;
 // on error or cancellation the partial rows are discarded and the
-// first error (lowest variant index, or ctx.Err()) is returned.
+// first error (lowest variant index, or ctx.Err()) is returned. A
+// variant that panics is contained, not fatal: its EventFailed is
+// visible on Stream, and Run returns the surviving variants' rows —
+// callers that need the failure detail should consume Stream.
 func (r Runner) Run(ctx context.Context, c Campaign) ([]Row, error) {
 	return collectRows(ctx, r, c, nil)
 }
@@ -185,11 +195,25 @@ func (r Runner) execute(ctx context.Context, c Campaign, events chan<- Event) {
 			defer wg.Done()
 			for i := range feed {
 				row, err := r.runVariant(ctx, c, i, events)
+				var pe *sim.PanicError
 				switch {
-				case err != nil:
-					fail(i, err)
-				default:
+				case err == nil:
 					events <- Event{Kind: EventRow, Campaign: c.Name, Variant: i, Name: row.Name, Row: row}
+				case errors.As(err, &pe):
+					// A panicking variant is contained: siblings keep
+					// running and the campaign completes with the rows
+					// that survived. Configuration errors still abort —
+					// they mean the whole sweep is built wrong.
+					events <- Event{
+						Kind:     EventFailed,
+						Campaign: c.Name,
+						Variant:  i,
+						Name:     c.Variants[i].Name,
+						Message:  fmt.Sprintf("%s: panic contained: %v", c.Variants[i].Name, pe.Value),
+						Err:      err,
+					}
+				default:
+					fail(i, err)
 				}
 			}
 		}()
@@ -205,10 +229,42 @@ func (r Runner) execute(ctx context.Context, c Campaign, events chan<- Event) {
 	done(err)
 }
 
-// runVariant materialises variant i's config and executes it.
-func (r Runner) runVariant(ctx context.Context, c Campaign, i int, events chan<- Event) (*Row, error) {
+// materializeVariant builds the exact config variant i of c runs: the
+// base copied, the variant seed applied, then the variant's mutation.
+// Probes are not attached — the in-process path adds them from the
+// Variant.Probes factory, and the supervised path rejects campaigns
+// with probes (they cannot cross a process boundary). Both execution
+// paths derive a variant's config through this same sequence, which is
+// what makes supervised output bit-identical to in-process output.
+func materializeVariant(c Campaign, i int) sim.Config {
 	v := c.Variants[i]
 	cfg := c.Base
+	if v.Seed != 0 {
+		cfg.Seed = v.Seed
+	}
+	if v.Mutate != nil {
+		v.Mutate(&cfg)
+	}
+	return cfg
+}
+
+// runVariant materialises variant i's config and executes it. Panics
+// anywhere in the variant's lifecycle — probe construction, config
+// mutation, engine setup, the run itself — surface as *sim.PanicError
+// attributing whatever portion of the config had been materialised.
+func (r Runner) runVariant(ctx context.Context, c Campaign, i int, events chan<- Event) (row *Row, err error) {
+	v := c.Variants[i]
+	cfg := c.Base
+	defer func() {
+		if rec := recover(); rec != nil {
+			var pe *sim.PanicError
+			if e, ok := rec.(error); ok && errors.As(e, &pe) {
+				row, err = nil, pe // already attributed (should not happen; RunContext returns, not panics)
+				return
+			}
+			row, err = nil, &sim.PanicError{Config: cfg, Value: rec, Stack: debug.Stack()}
+		}
+	}()
 	if v.Seed != 0 {
 		cfg.Seed = v.Seed
 	}

@@ -208,3 +208,110 @@ func TestRegistryRunCtxCancelled(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// panicOnRound is a probe that panics when it sees the given round end.
+type panicOnRound struct {
+	sim.BaseProbe
+	at int64
+}
+
+func (p *panicOnRound) OnRoundEnd(ev sim.RoundEndEvent) {
+	if ev.Round == p.at {
+		panic("injected variant panic")
+	}
+}
+
+// TestRunnerPanicContainment: a panicking variant becomes a typed
+// EventFailed with the variant config and stack attached, and its
+// siblings complete — the campaign does not crash or abort.
+func TestRunnerPanicContainment(t *testing.T) {
+	cfg := microConfig()
+	camp, err := ThresholdCampaign(cfg, []int{9, 10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 1 // variant index that will panic mid-run
+	orig := camp.Variants[bad].Probes
+	camp.Variants[bad].Probes = func() []sim.Probe {
+		probes := []sim.Probe{&panicOnRound{at: 50}}
+		if orig != nil {
+			probes = append(probes, orig()...)
+		}
+		return probes
+	}
+
+	var rows, failed int
+	var failure Event
+	for ev := range (Runner{Parallelism: 3}).Stream(context.Background(), camp) {
+		switch ev.Kind {
+		case EventRow:
+			rows++
+		case EventFailed:
+			failed++
+			failure = ev
+		case EventDone:
+			if ev.Err != nil {
+				t.Fatalf("campaign aborted instead of containing the panic: %v", ev.Err)
+			}
+		}
+	}
+	if rows != 2 || failed != 1 {
+		t.Fatalf("got %d rows, %d failures; want 2 rows, 1 failure", rows, failed)
+	}
+	if failure.Variant != bad || failure.Name != camp.Variants[bad].Name {
+		t.Fatalf("failure not attributed to variant %d: %+v", bad, failure)
+	}
+	var pe *sim.PanicError
+	if !errors.As(failure.Err, &pe) {
+		t.Fatalf("failure.Err is %T, want *sim.PanicError", failure.Err)
+	}
+	if pe.Value != "injected variant panic" {
+		t.Fatalf("panic value: %v", pe.Value)
+	}
+	wantSeed := cfg.Seed*1000003 + 10
+	if pe.Config.Seed != wantSeed {
+		t.Fatalf("panic config seed %d, want %d (variant attribution)", pe.Config.Seed, wantSeed)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack missing")
+	}
+
+	// Run (the blocking path) returns the survivors.
+	got, err := (Runner{Parallelism: 1}).Run(context.Background(), camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("Run returned %d rows, want the 2 survivors", len(got))
+	}
+}
+
+// TestRunnerPanicInMutate: a panic during config materialisation (not
+// just mid-run) is also contained and attributed.
+func TestRunnerPanicInMutate(t *testing.T) {
+	cfg := microConfig()
+	camp := Campaign{Name: "mutpanic", Base: cfg, Variants: []Variant{
+		{Name: "ok", Seed: 5},
+		{Name: "boom", Seed: 6, Mutate: func(*sim.Config) { panic("bad mutate") }},
+	}}
+	var rows, failed int
+	for ev := range (Runner{Parallelism: 2}).Stream(context.Background(), camp) {
+		switch ev.Kind {
+		case EventRow:
+			rows++
+		case EventFailed:
+			failed++
+			var pe *sim.PanicError
+			if !errors.As(ev.Err, &pe) || pe.Value != "bad mutate" {
+				t.Fatalf("unexpected failure error: %v", ev.Err)
+			}
+		case EventDone:
+			if ev.Err != nil {
+				t.Fatal(ev.Err)
+			}
+		}
+	}
+	if rows != 1 || failed != 1 {
+		t.Fatalf("got %d rows, %d failures", rows, failed)
+	}
+}

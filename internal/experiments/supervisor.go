@@ -1,0 +1,637 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"p2pbackup/internal/rng"
+)
+
+// FailureKind classifies why a worker attempt died, driving both the
+// retry decision and the typed failure surfaced when retries run out.
+type FailureKind int
+
+const (
+	// FailTransient is an unclassified process failure (e.g. wait error
+	// with no exit status); retried.
+	FailTransient FailureKind = iota
+	// FailPanic is a contained Go panic in the worker (exit code 2 with
+	// "panic:" on stderr).
+	FailPanic
+	// FailOOMKill is a SIGKILL the supervisor did not send — on Linux,
+	// almost always the kernel OOM killer.
+	FailOOMKill
+	// FailHang is a variant that overran its timeout or stopped
+	// heartbeating and was killed.
+	FailHang
+	// FailExit is a nonzero worker exit that wasn't a panic.
+	FailExit
+	// FailProtocol is a worker that exited 0 without delivering a
+	// result line.
+	FailProtocol
+)
+
+var failureKindNames = [...]string{"transient", "panic", "oom-kill", "hang", "exit", "protocol"}
+
+// String names the classification for journals and failure messages.
+func (k FailureKind) String() string {
+	if k >= 0 && int(k) < len(failureKindNames) {
+		return failureKindNames[k]
+	}
+	return fmt.Sprintf("FailureKind(%d)", int(k))
+}
+
+// RetryPolicy bounds how a supervisor retries a failed variant:
+// MaxAttempts total tries, exponential backoff from BaseBackoff capped
+// at MaxBackoff, with deterministic jitter derived from the campaign
+// seed and the (variant, attempt) pair — reproducible runs, but no two
+// variants thundering back in lockstep.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts per variant (0 = 3)
+	BaseBackoff time.Duration // first retry delay (0 = 500ms)
+	MaxBackoff  time.Duration // backoff ceiling (0 = 10s)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 500 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 10 * time.Second
+	}
+	return p
+}
+
+// backoff returns the pause before the retry after the given failed
+// attempt (1-based): Base·2^(attempt−1), capped, then scaled by a
+// jitter factor in [1, 1.5) drawn from a stream keyed on (seed,
+// variant, attempt).
+func (p RetryPolicy) backoff(seed uint64, variant, attempt int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	r := rng.New(rng.Derive(seed^0x5355_5045_5256, uint64(variant)<<16|uint64(attempt)))
+	return d + time.Duration(r.Float64()*0.5*float64(d))
+}
+
+// Supervisor executes a campaign with each variant isolated in its own
+// worker process, speaking the `p2psim -worker` protocol: the spec and
+// variant index go in as JSON on stdin, heartbeats and a bit-exact
+// result snapshot come back as JSON lines on stdout. Failed attempts
+// are classified (panic / OOM-kill / hang / exit / transient) and
+// retried per policy with exponential backoff; a variant that exhausts
+// its retries becomes a typed EventFailed and the campaign continues.
+// With a JournalPath every completed variant is appended (fsynced) to a
+// checkpoint journal, and Resume replays journaled rows instead of
+// re-running them. Because both sides materialise variants through the
+// same constructors and the snapshot round-trips float bits exactly, a
+// supervised campaign — even one suffering injected crashes — produces
+// output byte-identical to the fault-free in-process run.
+type Supervisor struct {
+	// Procs bounds concurrent worker processes; values below 1 mean
+	// runtime.NumCPU().
+	Procs int
+	// VariantTimeout kills an attempt that runs longer (0 = no limit).
+	VariantTimeout time.Duration
+	// HeartbeatGrace kills an attempt whose worker stops heartbeating
+	// for this long (0 = no stall watchdog). The worker heartbeats once
+	// a second, so a few seconds of grace tolerates scheduler hiccups.
+	HeartbeatGrace time.Duration
+	// Retry is the per-variant retry policy (zero fields mean 3
+	// attempts, 500ms base, 10s cap).
+	Retry RetryPolicy
+	// WorkerCmd is the worker argv; empty means the current executable
+	// with -worker appended (the p2psim arrangement). Tests point it at
+	// the test binary re-exec'd through a TestMain hook.
+	WorkerCmd []string
+	// WorkerEnv entries are appended to the inherited environment of
+	// every worker (e.g. the FaultEnv injector used by tests).
+	WorkerEnv []string
+	// JournalPath, when non-empty, is the checkpoint journal: one
+	// fsynced JSON line per finished variant (status "ok" or "failed").
+	JournalPath string
+	// Resume loads JournalPath instead of truncating it, and re-runs
+	// only variants without an "ok" entry for this spec's fingerprint.
+	Resume bool
+}
+
+// VariantFailure describes a variant that exhausted its retries.
+type VariantFailure struct {
+	Variant  int
+	Name     string
+	Class    FailureKind
+	Attempts int
+	Err      error
+}
+
+// Run executes the campaign described by spec under process
+// supervision, streaming events to sink (which may be nil) exactly
+// like Runner.Stream does, and returns the completed rows ordered by
+// variant index. camp must be the campaign spec.Build() produces — the
+// registry passes both so the parent does not rebuild traces the spec
+// already materialised to disk.
+//
+// Failed-variant handling is graceful degradation: each exhausted
+// variant is journaled, surfaced as EventFailed and summarised in a
+// final EventProgress; Run errors only when the context is cancelled,
+// the journal cannot be written, workers cannot be spawned at all, or
+// every variant failed.
+func (s *Supervisor) Run(ctx context.Context, spec CampaignSpec, camp Campaign, sink func(Event)) ([]Row, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(camp.Variants) == 0 {
+		return nil, fmt.Errorf("experiments: campaign %q has no variants", camp.Name)
+	}
+	if len(camp.Base.Probes) > 0 {
+		return nil, fmt.Errorf("experiments: campaign %q: probes cannot cross the worker process boundary; run in-process", camp.Name)
+	}
+	for _, v := range camp.Variants {
+		if v.Probes != nil {
+			return nil, fmt.Errorf("experiments: campaign %q variant %q: probes cannot cross the worker process boundary; run in-process", camp.Name, v.Name)
+		}
+	}
+	workerCmd := s.WorkerCmd
+	if len(workerCmd) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: supervisor: locating worker executable: %w", err)
+		}
+		workerCmd = []string{exe, "-worker"}
+	}
+	retry := s.Retry.withDefaults()
+	procs := s.Procs
+	if procs < 1 {
+		procs = runtime.NumCPU()
+	}
+	if procs > len(camp.Variants) {
+		procs = len(camp.Variants)
+	}
+
+	var emitMu sync.Mutex
+	emit := func(ev Event) {
+		if sink == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		sink(ev)
+	}
+
+	fp := spec.Fingerprint()
+	completed := map[int]*journalEntry{}
+	var journal *journalWriter
+	if s.JournalPath != "" {
+		if s.Resume {
+			entries, skipped, err := readJournal(s.JournalPath)
+			if err != nil {
+				return nil, err
+			}
+			if skipped > 0 {
+				emit(Event{Kind: EventProgress, Campaign: camp.Name, Variant: -1,
+					Message: fmt.Sprintf("journal: skipped %d unparsable line(s) (interrupted write)", skipped)})
+			}
+			for _, e := range entries {
+				if e.Fingerprint == fp && e.Status == "ok" && e.Variant >= 0 && e.Variant < len(camp.Variants) && e.Result != nil {
+					completed[e.Variant] = e
+				}
+			}
+		}
+		var err error
+		journal, err = openJournal(s.JournalPath, s.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+	}
+
+	rows := make([]*Row, len(camp.Variants))
+	for i, e := range completed {
+		cfg := materializeVariant(camp, i)
+		row := &Row{Index: i, Name: camp.Variants[i].Name, Config: cfg, Result: e.Result.restore(cfg)}
+		rows[i] = row
+		emit(Event{Kind: EventProgress, Campaign: camp.Name, Variant: i, Name: row.Name,
+			Message: fmt.Sprintf("%s: resumed from journal", row.Name)})
+		emit(Event{Kind: EventRow, Campaign: camp.Name, Variant: i, Name: row.Name, Row: row})
+	}
+
+	// Workers pull pending variant indices; a fatal error (spawn
+	// failure, journal write failure) cancels the whole campaign.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var (
+		mu       sync.Mutex
+		fatalErr error
+		failures []VariantFailure
+	)
+	fatal := func(err error) {
+		mu.Lock()
+		if fatalErr == nil {
+			fatalErr = err
+		}
+		mu.Unlock()
+		cancelRun()
+	}
+
+	feed := make(chan int)
+	go func() {
+		defer close(feed)
+		for i := range camp.Variants {
+			if rows[i] != nil {
+				continue
+			}
+			select {
+			case feed <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				s.superviseVariant(runCtx, spec, camp, i, workerCmd, retry, journal, fp, emit,
+					func(row *Row) {
+						mu.Lock()
+						rows[i] = row
+						mu.Unlock()
+					},
+					func(f VariantFailure) {
+						mu.Lock()
+						failures = append(failures, f)
+						mu.Unlock()
+					},
+					fatal)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mu.Lock()
+	err := fatalErr
+	fails := failures
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Row
+	for _, r := range rows {
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: campaign %q: every variant failed permanently (first: %v)", camp.Name, fails[0].Err)
+	}
+	if len(fails) > 0 {
+		sort.Slice(fails, func(i, j int) bool { return fails[i].Variant < fails[j].Variant })
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s: %d/%d variant(s) failed permanently:", camp.Name, len(fails), len(camp.Variants))
+		for _, f := range fails {
+			fmt.Fprintf(&b, " [%s: %s after %d attempts]", f.Name, f.Class, f.Attempts)
+		}
+		emit(Event{Kind: EventProgress, Campaign: camp.Name, Variant: -1, Message: b.String()})
+	}
+	return out, nil
+}
+
+// superviseVariant drives one variant through the retry state machine:
+// attempt → classify → (success | backoff and retry | exhaust). The
+// terminal states call exactly one of onRow, onFail or fatal.
+func (s *Supervisor) superviseVariant(ctx context.Context, spec CampaignSpec, camp Campaign, i int,
+	workerCmd []string, retry RetryPolicy, journal *journalWriter, fp string, emit func(Event),
+	onRow func(*Row), onFail func(VariantFailure), fatal func(error)) {
+
+	name := camp.Variants[i].Name
+	var lastErr error
+	lastClass := FailTransient
+	for attempt := 1; attempt <= retry.MaxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			return
+		}
+		snap, class, err := s.runAttempt(ctx, spec, i, attempt, workerCmd)
+		if err == nil {
+			cfg := materializeVariant(camp, i)
+			row := &Row{Index: i, Name: name, Config: cfg, Result: snap.restore(cfg)}
+			if journal != nil {
+				entry := journalEntry{V: 1, Campaign: camp.Name, Fingerprint: fp, Variant: i,
+					Name: name, Status: "ok", Attempts: attempt, Result: snap}
+				if jerr := journal.append(entry); jerr != nil {
+					fatal(fmt.Errorf("experiments: checkpoint journal: %w", jerr))
+					return
+				}
+			}
+			onRow(row)
+			emit(Event{Kind: EventRow, Campaign: camp.Name, Variant: i, Name: name, Row: row})
+			return
+		}
+		if ctx.Err() != nil {
+			return // cancelled mid-attempt; the kill is ours, not a failure
+		}
+		if errors.Is(err, errSpawn) {
+			fatal(err)
+			return
+		}
+		lastErr, lastClass = err, class
+		if attempt < retry.MaxAttempts {
+			pause := retry.backoff(spec.Seed, i, attempt)
+			emit(Event{Kind: EventProgress, Campaign: camp.Name, Variant: i, Name: name,
+				Message: fmt.Sprintf("%s: attempt %d/%d failed (%s): %v; retrying in %s",
+					name, attempt, retry.MaxAttempts, class, err, pause.Round(time.Millisecond))})
+			select {
+			case <-time.After(pause):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+
+	// Retries exhausted: graceful degradation. Journal the typed
+	// failure, surface it, and let the campaign continue.
+	if journal != nil {
+		entry := journalEntry{V: 1, Campaign: camp.Name, Fingerprint: fp, Variant: i, Name: name,
+			Status: "failed", Class: lastClass.String(), Attempts: retry.MaxAttempts, Error: lastErr.Error()}
+		if jerr := journal.append(entry); jerr != nil {
+			fatal(fmt.Errorf("experiments: checkpoint journal: %w", jerr))
+			return
+		}
+	}
+	onFail(VariantFailure{Variant: i, Name: name, Class: lastClass, Attempts: retry.MaxAttempts, Err: lastErr})
+	emit(Event{Kind: EventFailed, Campaign: camp.Name, Variant: i, Name: name,
+		Message: fmt.Sprintf("%s: failed permanently (%s) after %d attempts: %v", name, lastClass, retry.MaxAttempts, lastErr),
+		Err:     fmt.Errorf("experiments: %s %q: %s after %d attempts: %w", camp.Name, name, lastClass, retry.MaxAttempts, lastErr)})
+}
+
+// errSpawn marks a worker that could not even be started — an
+// environment problem, not a variant problem, so it aborts the campaign
+// instead of burning retries on every variant.
+var errSpawn = errors.New("experiments: worker spawn failed")
+
+// stderrTail keeps failure messages readable: panics print whole
+// stacks, but classification only needs the head.
+func stderrTail(buf *bytes.Buffer) string {
+	s := strings.TrimSpace(buf.String())
+	if len(s) > 800 {
+		s = s[:800] + " ..."
+	}
+	if s == "" {
+		return "(no stderr)"
+	}
+	return s
+}
+
+// runAttempt runs one worker process for (variant, attempt) and
+// classifies the outcome. A nil error means snap is the variant's
+// result; otherwise the FailureKind says what killed the attempt.
+func (s *Supervisor) runAttempt(ctx context.Context, spec CampaignSpec, variant, attempt int, workerCmd []string) (*resultSnapshot, FailureKind, error) {
+	attemptCtx := ctx
+	if s.VariantTimeout > 0 {
+		var cancel context.CancelFunc
+		attemptCtx, cancel = context.WithTimeout(ctx, s.VariantTimeout)
+		defer cancel()
+	}
+	cmd := exec.CommandContext(attemptCtx, workerCmd[0], workerCmd[1:]...)
+	if len(s.WorkerEnv) > 0 {
+		cmd.Env = append(os.Environ(), s.WorkerEnv...)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, FailTransient, fmt.Errorf("%w: %v", errSpawn, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, FailTransient, fmt.Errorf("%w: %v", errSpawn, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, FailTransient, fmt.Errorf("%w: %v", errSpawn, err)
+	}
+	// A worker must heartbeat several times per grace window, or a
+	// healthy-but-busy worker would be indistinguishable from a hung
+	// one. Sub-second graces (tests) shrink the requested period to
+	// match.
+	period := heartbeatPeriod
+	if s.HeartbeatGrace > 0 && s.HeartbeatGrace < 4*heartbeatPeriod {
+		period = s.HeartbeatGrace / 4
+		if period < 5*time.Millisecond {
+			period = 5 * time.Millisecond
+		}
+	}
+	go func() {
+		enc := json.NewEncoder(stdin)
+		_ = enc.Encode(workerRequest{Spec: spec, Variant: variant, Attempt: attempt,
+			HeartbeatMillis: int(period / time.Millisecond)})
+		stdin.Close()
+	}()
+
+	// Stall watchdog: any stdout line (heartbeat or result) counts as
+	// liveness; silence beyond HeartbeatGrace kills the worker.
+	var lastBeat atomic.Int64
+	lastBeat.Store(time.Now().UnixNano())
+	var stalled atomic.Bool
+	watchdogDone := make(chan struct{})
+	if s.HeartbeatGrace > 0 {
+		grace := s.HeartbeatGrace
+		go func() {
+			poll := grace / 4
+			if poll < time.Millisecond {
+				poll = time.Millisecond
+			}
+			t := time.NewTicker(poll)
+			defer t.Stop()
+			for {
+				select {
+				case <-watchdogDone:
+					return
+				case <-t.C:
+					if time.Since(time.Unix(0, lastBeat.Load())) > grace {
+						stalled.Store(true)
+						_ = cmd.Process.Kill()
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var snap *resultSnapshot
+	var protoErr error
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 1<<20), 256<<20) // focal-run snapshots carry long series
+	for sc.Scan() {
+		lastBeat.Store(time.Now().UnixNano())
+		var m workerMessage
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			protoErr = fmt.Errorf("undecodable worker line: %v", err)
+			continue
+		}
+		if m.Type == "result" && m.Result != nil {
+			snap = m.Result
+		}
+	}
+	if err := sc.Err(); err != nil && protoErr == nil {
+		protoErr = err
+	}
+	waitErr := cmd.Wait()
+	close(watchdogDone)
+
+	switch {
+	case waitErr == nil && snap != nil:
+		return snap, 0, nil
+	case attemptCtx.Err() == context.DeadlineExceeded:
+		return nil, FailHang, fmt.Errorf("variant overran its %s timeout", s.VariantTimeout)
+	case ctx.Err() != nil:
+		return nil, FailTransient, ctx.Err()
+	case stalled.Load():
+		return nil, FailHang, fmt.Errorf("worker stopped heartbeating for %s", s.HeartbeatGrace)
+	case waitErr != nil:
+		var ee *exec.ExitError
+		if errors.As(waitErr, &ee) {
+			if st, ok := ee.Sys().(syscall.WaitStatus); ok && st.Signaled() && st.Signal() == syscall.SIGKILL {
+				return nil, FailOOMKill, fmt.Errorf("worker killed by SIGKILL (OOM killer?): %s", stderrTail(&stderr))
+			}
+			if ee.ExitCode() == 2 && strings.Contains(stderr.String(), "panic:") {
+				return nil, FailPanic, fmt.Errorf("worker panicked: %s", stderrTail(&stderr))
+			}
+			return nil, FailExit, fmt.Errorf("worker exited %d: %s", ee.ExitCode(), stderrTail(&stderr))
+		}
+		return nil, FailTransient, waitErr
+	default:
+		return nil, FailProtocol, fmt.Errorf("worker exited 0 without a result (%v)", protoErr)
+	}
+}
+
+// heartbeatPeriod is how often workers are asked to heartbeat.
+const heartbeatPeriod = time.Second
+
+// ---------------------------------------------------------------------------
+// Checkpoint journal
+
+// journalEntry is one line of the checkpoint journal: a finished
+// variant (status "ok", with its result snapshot) or a permanent
+// failure (status "failed", with its classification). The fingerprint
+// ties the entry to the exact campaign spec, so resuming never replays
+// rows across campaign shapes.
+type journalEntry struct {
+	V           int             `json:"v"`
+	Campaign    string          `json:"campaign"`
+	Fingerprint string          `json:"fingerprint"`
+	Variant     int             `json:"variant"`
+	Name        string          `json:"name"`
+	Status      string          `json:"status"`
+	Class       string          `json:"class,omitempty"`
+	Attempts    int             `json:"attempts"`
+	Error       string          `json:"error,omitempty"`
+	Result      *resultSnapshot `json:"result,omitempty"`
+}
+
+// journalWriter appends fsynced JSON lines. Append-only + per-line
+// fsync means a crash loses at most the line being written, and
+// readJournal tolerates that torn tail.
+type journalWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+}
+
+// openJournal opens (resume) or truncates (fresh run) the journal.
+func openJournal(path string, resume bool) (*journalWriter, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journalWriter{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+func (j *journalWriter) append(e journalEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.enc.Encode(e); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close closes the underlying file.
+func (j *journalWriter) Close() error { return j.f.Close() }
+
+// readJournal loads every parsable entry; a missing file is an empty
+// journal. skipped counts unparsable lines (a SIGKILLed campaign can
+// leave a torn final line — that variant simply re-runs).
+func readJournal(path string) (entries []*journalEntry, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 256<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if json.Unmarshal(line, &e) != nil || e.V != 1 {
+			skipped++
+			continue
+		}
+		entries = append(entries, &e)
+	}
+	return entries, skipped, sc.Err()
+}
+
+// ReadJournalStatus summarises a checkpoint journal for CLI reporting:
+// per-status variant counts keyed by campaign name.
+func ReadJournalStatus(path string) (ok, failed int, err error) {
+	entries, _, err := readJournal(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range entries {
+		switch e.Status {
+		case "ok":
+			ok++
+		case "failed":
+			failed++
+		}
+	}
+	return ok, failed, nil
+}

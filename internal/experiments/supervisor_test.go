@@ -1,0 +1,537 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"p2pbackup/internal/sim"
+)
+
+// testWorkerEnv flips the test binary into worker mode: the supervisor
+// tests re-exec os.Args[0] with this set, and TestMain routes the child
+// straight into WorkerMain instead of the test runner. This is the same
+// arrangement `p2psim -worker` provides in production.
+const testWorkerEnv = "P2PSIM_TEST_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(testWorkerEnv) == "1" {
+		os.Exit(WorkerMain(os.Stdin, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// microSpec is a four-variant campaign small enough to run a worker
+// process in tens of milliseconds. Its overrides mirror microConfig.
+func microSpec() CampaignSpec {
+	return CampaignSpec{
+		Kind:   "repair-delay",
+		Scale:  ScaleSmoke,
+		Seed:   3,
+		Delays: []int{0, 6, 12, 24},
+		Overrides: &ConfigOverrides{
+			NumPeers: 100, Rounds: 300, TotalBlocks: 16, DataBlocks: 8,
+			RepairThreshold: 10, Quota: 48, PoolSamplePerRound: 32, AcceptHorizon: 48,
+		},
+	}
+}
+
+// testSupervisor builds a supervisor that re-execs the test binary as
+// its worker, with millisecond backoffs so retry tests stay fast.
+func testSupervisor(env ...string) *Supervisor {
+	return &Supervisor{
+		Procs:     2,
+		WorkerCmd: []string{os.Args[0]},
+		WorkerEnv: append([]string{testWorkerEnv + "=1"}, env...),
+		Retry:     RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+	}
+}
+
+// rowsDigest serialises everything a row consumer can observe — index,
+// name, seed and the full result snapshot — so two runs can be compared
+// byte for byte.
+func rowsDigest(t *testing.T, rows []Row) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range rows {
+		raw, err := json.Marshal(snapshotResult(r.Result))
+		if err != nil {
+			t.Fatalf("marshal row %d: %v", r.Index, err)
+		}
+		fmt.Fprintf(&b, "%d %s seed=%d %s\n", r.Index, r.Name, r.Config.Seed, raw)
+	}
+	return b.String()
+}
+
+// ablationTSV renders rows exactly as the registry's ablation
+// experiments do, for the bit-identical-output assertions.
+func ablationTSV(t *testing.T, name string, rows []Row) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := AblationFromRows(name, rows).WriteTSV(&buf); err != nil {
+		t.Fatalf("WriteTSV: %v", err)
+	}
+	return buf.String()
+}
+
+// inProcessBaseline runs the spec's campaign on the in-process Runner.
+func inProcessBaseline(t *testing.T, spec CampaignSpec) []Row {
+	t.Helper()
+	camp, err := spec.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	rows, err := collectRows(context.Background(), Runner{Parallelism: 2}, camp, nil)
+	if err != nil {
+		t.Fatalf("collectRows: %v", err)
+	}
+	return rows
+}
+
+func TestSupervisedMatchesInProcess(t *testing.T) {
+	t.Parallel()
+	spec := microSpec()
+	want := inProcessBaseline(t, spec)
+
+	camp, err := spec.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	got, err := testSupervisor().Run(context.Background(), spec, camp, nil)
+	if err != nil {
+		t.Fatalf("supervised run: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("supervised run returned %d rows, want %d", len(got), len(want))
+	}
+	if d1, d2 := rowsDigest(t, want), rowsDigest(t, got); d1 != d2 {
+		t.Errorf("supervised rows differ from in-process rows:\nin-process:\n%s\nsupervised:\n%s", d1, d2)
+	}
+	if t1, t2 := ablationTSV(t, camp.Name, want), ablationTSV(t, camp.Name, got); t1 != t2 {
+		t.Errorf("supervised TSV differs from in-process TSV:\n%s\nvs\n%s", t1, t2)
+	}
+}
+
+// TestSupervisedChaosDeterministic injects one fault of every class —
+// panic, clean nonzero exit, self-SIGKILL (the OOM-killer signature)
+// and a hang that never heartbeats — into the first attempt of each
+// variant, and requires the retried campaign to produce output
+// byte-identical to the fault-free in-process run.
+func TestSupervisedChaosDeterministic(t *testing.T) {
+	t.Parallel()
+	spec := microSpec()
+	want := inProcessBaseline(t, spec)
+	camp, err := spec.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	journal := filepath.Join(t.TempDir(), "chaos.jsonl")
+	sup := testSupervisor(FaultEnv + "=panic@variant0|exit5@variant1|kill9@variant2|hang@variant3")
+	sup.JournalPath = journal
+	// Generous grace: race-instrumented test binaries on a loaded CI
+	// machine can take most of a second just to start. The hang fault
+	// never writes a byte, so it is detected at the grace deadline
+	// regardless of how large the margin is.
+	sup.HeartbeatGrace = 3 * time.Second
+	sup.VariantTimeout = 60 * time.Second
+
+	var mu sync.Mutex
+	var retries []string
+	got, err := sup.Run(context.Background(), spec, camp, func(ev Event) {
+		if ev.Kind == EventProgress && strings.Contains(ev.Message, "retrying") {
+			mu.Lock()
+			retries = append(retries, ev.Message)
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("chaos run returned %d rows, want %d", len(got), len(want))
+	}
+	if d1, d2 := rowsDigest(t, want), rowsDigest(t, got); d1 != d2 {
+		t.Errorf("chaos rows differ from fault-free in-process rows")
+	}
+	if t1, t2 := ablationTSV(t, camp.Name, want), ablationTSV(t, camp.Name, got); t1 != t2 {
+		t.Errorf("chaos TSV differs from fault-free TSV:\n%s\nvs\n%s", t1, t2)
+	}
+
+	// Every fault class must have been seen and classified.
+	all := strings.Join(retries, "\n")
+	for _, class := range []string{"(panic)", "(exit)", "(oom-kill)", "(hang)"} {
+		if !strings.Contains(all, class) {
+			t.Errorf("no retry classified as %s in:\n%s", class, all)
+		}
+	}
+
+	// The journal must record the second attempt succeeding for every
+	// variant.
+	entries, skipped, err := readJournal(journal)
+	if err != nil {
+		t.Fatalf("readJournal: %v", err)
+	}
+	if skipped != 0 {
+		t.Errorf("journal skipped %d lines, want 0", skipped)
+	}
+	if len(entries) != len(camp.Variants) {
+		t.Fatalf("journal has %d entries, want %d", len(entries), len(camp.Variants))
+	}
+	for _, e := range entries {
+		if e.Status != "ok" {
+			t.Errorf("variant %d journaled as %q, want ok", e.Variant, e.Status)
+		}
+		if e.Attempts != 2 {
+			t.Errorf("variant %d succeeded on attempt %d, want 2 (one injected fault)", e.Variant, e.Attempts)
+		}
+	}
+}
+
+// TestSupervisedExhaustedRetries checks graceful degradation: a variant
+// that fails every attempt becomes a typed EventFailed plus a summary
+// line, and the rest of the campaign still completes.
+func TestSupervisedExhaustedRetries(t *testing.T) {
+	t.Parallel()
+	spec := microSpec()
+	camp, err := spec.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	journal := filepath.Join(t.TempDir(), "fail.jsonl")
+	sup := testSupervisor(FaultEnv + "=exit7@variant1x9")
+	sup.Retry.MaxAttempts = 2
+	sup.JournalPath = journal
+
+	var mu sync.Mutex
+	var failed []Event
+	var summary string
+	rows, err := sup.Run(context.Background(), spec, camp, func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case ev.Kind == EventFailed:
+			failed = append(failed, ev)
+		case ev.Kind == EventProgress && strings.Contains(ev.Message, "failed permanently:"):
+			summary = ev.Message
+		}
+	})
+	if err != nil {
+		t.Fatalf("run with permanent failure: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 survivors", len(rows))
+	}
+	for _, r := range rows {
+		if r.Index == 1 {
+			t.Errorf("failed variant 1 produced a row")
+		}
+	}
+	if len(failed) != 1 {
+		t.Fatalf("got %d EventFailed, want 1", len(failed))
+	}
+	ev := failed[0]
+	if ev.Variant != 1 || ev.Err == nil || !strings.Contains(ev.Message, "(exit)") {
+		t.Errorf("EventFailed = variant %d, message %q, err %v; want variant 1 classified (exit)", ev.Variant, ev.Message, ev.Err)
+	}
+	if !strings.Contains(summary, "1/4 variant(s) failed permanently") {
+		t.Errorf("missing or wrong failure summary: %q", summary)
+	}
+
+	ok, failedN, err := ReadJournalStatus(journal)
+	if err != nil {
+		t.Fatalf("ReadJournalStatus: %v", err)
+	}
+	if ok != 3 || failedN != 1 {
+		t.Errorf("journal status ok=%d failed=%d, want 3/1", ok, failedN)
+	}
+}
+
+// TestSupervisedResumeSkipsCompleted interrupts a campaign (one variant
+// poisoned so it fails, three succeed and are journaled), then resumes
+// with every previously-completed variant poisoned: if resume re-ran
+// any of them the run would fail, so a byte-identical final result
+// proves only the missing variant executed.
+func TestSupervisedResumeSkipsCompleted(t *testing.T) {
+	t.Parallel()
+	spec := microSpec()
+	want := inProcessBaseline(t, spec)
+	camp, err := spec.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	journal := filepath.Join(t.TempDir(), "resume.jsonl")
+
+	first := testSupervisor(FaultEnv + "=exit3@variant2x9")
+	first.Retry.MaxAttempts = 1
+	first.JournalPath = journal
+	rows, err := first.Run(context.Background(), spec, camp, nil)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("first run returned %d rows, want 3", len(rows))
+	}
+
+	// Poison all three completed variants; only variant 2 may run.
+	second := testSupervisor(FaultEnv + "=panic@variant0x9|panic@variant1x9|panic@variant3x9")
+	second.Retry.MaxAttempts = 1
+	second.JournalPath = journal
+	second.Resume = true
+	var mu sync.Mutex
+	resumed := map[int]bool{}
+	got, err := second.Run(context.Background(), spec, camp, func(ev Event) {
+		if ev.Kind == EventProgress && strings.Contains(ev.Message, "resumed from journal") {
+			mu.Lock()
+			resumed[ev.Variant] = true
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resume returned %d rows, want %d", len(got), len(want))
+	}
+	if d1, d2 := rowsDigest(t, want), rowsDigest(t, got); d1 != d2 {
+		t.Errorf("resumed rows differ from fault-free in-process rows")
+	}
+	wantResumed := map[int]bool{0: true, 1: true, 3: true}
+	if len(resumed) != len(wantResumed) {
+		t.Errorf("resumed variants %v, want %v", resumed, wantResumed)
+	}
+	for v := range wantResumed {
+		if !resumed[v] {
+			t.Errorf("variant %d was not resumed from the journal", v)
+		}
+	}
+}
+
+// TestSupervisedCancelThenResume kills a campaign mid-flight via
+// context cancellation after the first completed variant, then resumes:
+// completed variants must not re-run and the merged output must match
+// the fault-free baseline bit for bit.
+func TestSupervisedCancelThenResume(t *testing.T) {
+	t.Parallel()
+	spec := microSpec()
+	want := inProcessBaseline(t, spec)
+	camp, err := spec.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	journal := filepath.Join(t.TempDir(), "interrupt.jsonl")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	first := testSupervisor()
+	first.Procs = 1
+	first.JournalPath = journal
+	_, err = first.Run(ctx, spec, camp, func(ev Event) {
+		if ev.Kind == EventRow {
+			cancel() // interrupt as soon as anything completes
+		}
+	})
+	if err == nil {
+		t.Fatalf("cancelled run returned nil error")
+	}
+
+	entries, _, err := readJournal(journal)
+	if err != nil {
+		t.Fatalf("readJournal: %v", err)
+	}
+	if len(entries) == 0 || len(entries) == len(camp.Variants) {
+		t.Fatalf("interrupted journal has %d entries, want partial coverage of %d variants", len(entries), len(camp.Variants))
+	}
+	var poison []string
+	done := map[int]bool{}
+	for _, e := range entries {
+		if e.Status == "ok" {
+			done[e.Variant] = true
+			poison = append(poison, fmt.Sprintf("panic@variant%dx9", e.Variant))
+		}
+	}
+	sort.Strings(poison)
+
+	second := testSupervisor(FaultEnv + "=" + strings.Join(poison, "|"))
+	second.Retry.MaxAttempts = 1
+	second.JournalPath = journal
+	second.Resume = true
+	var mu sync.Mutex
+	resumed := map[int]bool{}
+	got, err := second.Run(context.Background(), spec, camp, func(ev Event) {
+		if ev.Kind == EventProgress && strings.Contains(ev.Message, "resumed from journal") {
+			mu.Lock()
+			resumed[ev.Variant] = true
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatalf("resume after interrupt: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resume returned %d rows, want %d", len(got), len(want))
+	}
+	if d1, d2 := rowsDigest(t, want), rowsDigest(t, got); d1 != d2 {
+		t.Errorf("post-interrupt rows differ from fault-free in-process rows")
+	}
+	if len(resumed) != len(done) {
+		t.Errorf("resumed %v, want exactly the journaled set %v", resumed, done)
+	}
+	for v := range done {
+		if !resumed[v] {
+			t.Errorf("journaled variant %d re-ran instead of resuming", v)
+		}
+	}
+}
+
+// TestJournalToleratesTornTail simulates a SIGKILL mid-append (a torn
+// final line) and checks that resume skips the fragment and re-runs
+// only that variant.
+func TestJournalToleratesTornTail(t *testing.T) {
+	t.Parallel()
+	spec := microSpec()
+	want := inProcessBaseline(t, spec)
+	camp, err := spec.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	journal := filepath.Join(t.TempDir(), "torn.jsonl")
+
+	first := testSupervisor()
+	first.JournalPath = journal
+	if _, err := first.Run(context.Background(), spec, camp, nil); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	// Tear off the last journal line mid-JSON, as a crash during the
+	// fsynced append would.
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	lines := bytes.SplitAfter(bytes.TrimSuffix(raw, []byte("\n")), []byte("\n"))
+	last := lines[len(lines)-1]
+	torn := append(bytes.Join(lines[:len(lines)-1], nil), last[:len(last)/3]...)
+	if err := os.WriteFile(journal, torn, 0o644); err != nil {
+		t.Fatalf("write torn journal: %v", err)
+	}
+	entries, skipped, err := readJournal(journal)
+	if err != nil {
+		t.Fatalf("readJournal: %v", err)
+	}
+	if skipped != 1 {
+		t.Errorf("readJournal skipped %d lines, want 1", skipped)
+	}
+	if len(entries) != len(camp.Variants)-1 {
+		t.Errorf("torn journal has %d whole entries, want %d", len(entries), len(camp.Variants)-1)
+	}
+
+	second := testSupervisor()
+	second.JournalPath = journal
+	second.Resume = true
+	got, err := second.Run(context.Background(), spec, camp, nil)
+	if err != nil {
+		t.Fatalf("resume over torn journal: %v", err)
+	}
+	if d1, d2 := rowsDigest(t, want), rowsDigest(t, got); d1 != d2 {
+		t.Errorf("rows after torn-journal resume differ from baseline")
+	}
+}
+
+func TestSupervisorRejectsProbes(t *testing.T) {
+	t.Parallel()
+	spec := microSpec()
+	camp, err := spec.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	camp.Variants[0].Probes = func() []sim.Probe { return nil }
+	if _, err := testSupervisor().Run(context.Background(), spec, camp, nil); err == nil {
+		t.Fatalf("probed campaign accepted; want error")
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	t.Parallel()
+	faults, err := parseFaults("panic@variant3|hang@variant5x2|exit2@variant1|kill9@variant0")
+	if err != nil {
+		t.Fatalf("parseFaults: %v", err)
+	}
+	want := []fault{
+		{kind: "panic", variant: 3, attempts: 1},
+		{kind: "hang", variant: 5, attempts: 2},
+		{kind: "exit", exitCode: 2, variant: 1, attempts: 1},
+		{kind: "kill9", variant: 0, attempts: 1},
+	}
+	if len(faults) != len(want) {
+		t.Fatalf("got %d faults, want %d", len(faults), len(want))
+	}
+	for i, f := range faults {
+		if f != want[i] {
+			t.Errorf("fault %d = %+v, want %+v", i, f, want[i])
+		}
+	}
+	if fs, err := parseFaults(""); err != nil || fs != nil {
+		t.Errorf("empty spec: got %v, %v; want nil, nil", fs, err)
+	}
+	for _, bad := range []string{"panic", "panic@3", "boom@variant1", "exit0@variant1", "exit9999@variant2", "panic@variantx", "hang@variant1x0"} {
+		if _, err := parseFaults(bad); err == nil {
+			t.Errorf("parseFaults(%q) accepted; want error", bad)
+		}
+	}
+}
+
+func TestWorkerMainRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	var out, errw bytes.Buffer
+	if code := WorkerMain(strings.NewReader("{"), &out, &errw); code != 1 {
+		t.Errorf("truncated request: exit %d, want 1", code)
+	}
+	req, _ := json.Marshal(workerRequest{Spec: microSpec(), Variant: 99, Attempt: 1})
+	out.Reset()
+	errw.Reset()
+	if code := WorkerMain(bytes.NewReader(req), &out, &errw); code != 1 {
+		t.Errorf("out-of-range variant: exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "out of range") {
+		t.Errorf("stderr %q, want out-of-range complaint", errw.String())
+	}
+}
+
+func TestRetryBackoffDeterministic(t *testing.T) {
+	t.Parallel()
+	p := RetryPolicy{}.withDefaults()
+	for variant := 0; variant < 3; variant++ {
+		prev := time.Duration(0)
+		for attempt := 1; attempt <= 4; attempt++ {
+			d1 := p.backoff(3, variant, attempt)
+			d2 := p.backoff(3, variant, attempt)
+			if d1 != d2 {
+				t.Errorf("backoff(3, %d, %d) not deterministic: %v vs %v", variant, attempt, d1, d2)
+			}
+			base := p.BaseBackoff << (attempt - 1)
+			if base > p.MaxBackoff {
+				base = p.MaxBackoff
+			}
+			if d1 < base || d1 >= base+base/2+time.Nanosecond {
+				t.Errorf("backoff(3, %d, %d) = %v outside [%v, 1.5·%v)", variant, attempt, d1, base, base)
+			}
+			if d1 < prev {
+				// jitter can reorder only within a factor of 1.5
+				if prev > d1*3/2 {
+					t.Errorf("backoff shrank too much: attempt %d %v after %v", attempt, d1, prev)
+				}
+			}
+			prev = d1
+		}
+	}
+}

@@ -182,13 +182,13 @@ func (r *TransferResult) WriteTSV(w io.Writer) error {
 
 // runTransfer executes a transfer campaign through the registry: like
 // runAblation, but the summary carries TTB/TTR columns.
-func runTransfer(ctx context.Context, opts Options, filename string, build func(sim.Config) Campaign) ([]Summary, error) {
+func runTransfer(ctx context.Context, opts Options, filename string, spec CampaignSpec, build func(sim.Config) Campaign) ([]Summary, error) {
 	cfg, err := baseFor(opts)
 	if err != nil {
 		return nil, err
 	}
 	camp := build(cfg)
-	rows, err := collectRows(ctx, opts.runner(), camp, opts.sink(doneMessage(camp.Name)))
+	rows, err := opts.collect(ctx, opts.runner(), camp, spec, opts.sink(doneMessage(camp.Name)))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"p2pbackup/internal/metrics"
+	"p2pbackup/internal/sim"
+)
+
+// The worker protocol. A worker process (`p2psim -worker`, or a test
+// binary re-exec'd through its TestMain hook) receives exactly one
+// workerRequest as JSON on stdin, runs the requested variant, and
+// writes newline-delimited JSON messages on stdout: heartbeats while
+// the simulation advances, then a single result message. Classification
+// happens on the supervisor side from the exit status, stderr and the
+// message stream; the worker's only obligations are the result line on
+// success, "panic: ..." on stderr with exit code 2 on a contained
+// panic, and a nonzero exit otherwise.
+
+// workerRequest is the supervisor→worker handshake.
+type workerRequest struct {
+	Spec    CampaignSpec `json:"spec"`
+	Variant int          `json:"variant"`
+	// Attempt is 1-based; the fault injector uses it so an injected
+	// fault can clear after N attempts.
+	Attempt int `json:"attempt"`
+	// HeartbeatMillis is the requested heartbeat period (0 = 1000).
+	HeartbeatMillis int `json:"heartbeat_millis,omitempty"`
+}
+
+// workerMessage is one stdout line from the worker.
+type workerMessage struct {
+	Type   string          `json:"type"` // "heartbeat" or "result"
+	Round  int64           `json:"round,omitempty"`
+	Result *resultSnapshot `json:"result,omitempty"`
+}
+
+// resultSnapshot is sim.Result in wire form: everything a row consumer
+// reads except Config (rebuilt by the supervisor from the shared spec)
+// and Trace (only the parent-side trace recorder uses it, in-process).
+type resultSnapshot struct {
+	Collector       *metrics.Collector       `json:"collector"`
+	Observers       *metrics.ObserverTracker `json:"observers,omitempty"`
+	Deaths          int64                    `json:"deaths"`
+	Cancels         int64                    `json:"cancels"`
+	FinalPlacements int                      `json:"final_placements"`
+	FinalIncluded   int                      `json:"final_included"`
+	Phases          *sim.PhaseTimes          `json:"phases,omitempty"`
+}
+
+// snapshotResult converts a finished run for the wire.
+func snapshotResult(res *sim.Result) *resultSnapshot {
+	return &resultSnapshot{
+		Collector:       res.Collector,
+		Observers:       res.Observers,
+		Deaths:          res.Deaths,
+		Cancels:         res.Cancels,
+		FinalPlacements: res.FinalPlacements,
+		FinalIncluded:   res.FinalIncluded,
+		Phases:          res.Phases,
+	}
+}
+
+// restore rebuilds the sim.Result with the locally materialised config.
+func (sn *resultSnapshot) restore(cfg sim.Config) *sim.Result {
+	return &sim.Result{
+		Config:          cfg,
+		Collector:       sn.Collector,
+		Observers:       sn.Observers,
+		Deaths:          sn.Deaths,
+		Cancels:         sn.Cancels,
+		FinalPlacements: sn.FinalPlacements,
+		FinalIncluded:   sn.FinalIncluded,
+		Phases:          sn.Phases,
+	}
+}
+
+// FaultEnv is the environment variable the worker's fault injector
+// reads. Its value is a '|'-separated list of clauses of the form
+// KIND@variantN[xM]: inject KIND into variant N's first M attempts
+// (default 1, so retries succeed). Kinds: "panic" (a Go panic inside
+// the worker), "hang" (block forever, never heartbeating — exercises
+// stall/timeout kills), "exitC" (exit with code C), "kill9" (the worker
+// SIGKILLs itself — indistinguishable from the OOM killer, which is the
+// point). Example:
+//
+//	P2PSIM_FAULT='panic@variant3|hang@variant5x2|exit2@variant1'
+//
+// The injector exists for the supervisor's tests and chaos CI job; it
+// does nothing unless the variable is set.
+const FaultEnv = "P2PSIM_FAULT"
+
+// fault is one parsed injection clause.
+type fault struct {
+	kind     string // "panic", "hang", "exit", "kill9"
+	exitCode int
+	variant  int
+	attempts int // fault fires while attempt <= attempts
+}
+
+// parseFaults parses a FaultEnv value; empty input means no faults.
+func parseFaults(spec string) ([]fault, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []fault
+	for _, clause := range strings.Split(spec, "|") {
+		kindStr, rest, ok := strings.Cut(clause, "@")
+		if !ok {
+			return nil, fmt.Errorf("experiments: fault clause %q: missing @variantN", clause)
+		}
+		var f fault
+		switch {
+		case kindStr == "panic" || kindStr == "hang" || kindStr == "kill9":
+			f.kind = kindStr
+		case strings.HasPrefix(kindStr, "exit"):
+			code, err := strconv.Atoi(kindStr[len("exit"):])
+			if err != nil || code < 1 || code > 255 {
+				return nil, fmt.Errorf("experiments: fault clause %q: bad exit code", clause)
+			}
+			f.kind, f.exitCode = "exit", code
+		default:
+			return nil, fmt.Errorf("experiments: fault clause %q: unknown kind %q", clause, kindStr)
+		}
+		numStr, ok := strings.CutPrefix(rest, "variant")
+		if !ok {
+			return nil, fmt.Errorf("experiments: fault clause %q: want variantN after @", clause)
+		}
+		f.attempts = 1
+		if numStr, rest, ok := strings.Cut(numStr, "x"); ok {
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("experiments: fault clause %q: bad attempt count", clause)
+			}
+			f.attempts = n
+			if v, err := strconv.Atoi(numStr); err == nil && v >= 0 {
+				f.variant = v
+			} else {
+				return nil, fmt.Errorf("experiments: fault clause %q: bad variant index", clause)
+			}
+		} else if v, err := strconv.Atoi(numStr); err == nil && v >= 0 {
+			f.variant = v
+		} else {
+			return nil, fmt.Errorf("experiments: fault clause %q: bad variant index", clause)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// trigger fires the fault. It does not return for any kind.
+func (f fault) trigger() {
+	switch f.kind {
+	case "panic":
+		panic(fmt.Sprintf("injected fault: variant %d", f.variant))
+	case "hang":
+		// Not `select {}`: with every goroutine blocked the runtime's
+		// deadlock detector would crash the process, which is an exit,
+		// not a hang. Sleeping forever is invisible to it.
+		for {
+			time.Sleep(time.Hour)
+		}
+	case "exit":
+		os.Exit(f.exitCode)
+	case "kill9":
+		_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		for { // the signal is fatal; never reached
+			time.Sleep(time.Hour)
+		}
+	}
+}
+
+// injectFault fires the first configured fault matching this variant
+// and attempt, if any.
+func injectFault(spec string, variant, attempt int) error {
+	faults, err := parseFaults(spec)
+	if err != nil {
+		return err
+	}
+	for _, f := range faults {
+		if f.variant == variant && attempt <= f.attempts {
+			f.trigger()
+		}
+	}
+	return nil
+}
+
+// WorkerMain implements the worker side of the supervisor protocol:
+// decode one request from in, rebuild the campaign from its spec, run
+// the requested variant, stream heartbeats and the final result
+// snapshot to out. The returned value is the process exit code: 0 on
+// success, 2 for a contained panic (reported as "panic: ..." plus the
+// stack on errw), 1 for anything else. `p2psim -worker` and the test
+// binaries' TestMain hooks are the two callers.
+func WorkerMain(in io.Reader, out, errw io.Writer) int {
+	var req workerRequest
+	if err := json.NewDecoder(in).Decode(&req); err != nil {
+		fmt.Fprintf(errw, "worker: bad request: %v\n", err)
+		return 1
+	}
+	if err := injectFault(os.Getenv(FaultEnv), req.Variant, req.Attempt); err != nil {
+		fmt.Fprintf(errw, "worker: %v\n", err)
+		return 1
+	}
+	camp, err := req.Spec.Build()
+	if err != nil {
+		fmt.Fprintf(errw, "worker: %v\n", err)
+		return 1
+	}
+	if req.Variant < 0 || req.Variant >= len(camp.Variants) {
+		fmt.Fprintf(errw, "worker: variant %d out of range (campaign %q has %d)\n",
+			req.Variant, camp.Name, len(camp.Variants))
+		return 1
+	}
+
+	cfg := materializeVariant(camp, req.Variant)
+	var round atomic.Int64
+	cfg.Progress = func(r int64) { round.Store(r) }
+
+	enc := json.NewEncoder(out)
+	var mu sync.Mutex
+	write := func(m workerMessage) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return enc.Encode(m)
+	}
+
+	period := time.Duration(req.HeartbeatMillis) * time.Millisecond
+	if period <= 0 {
+		period = time.Second
+	}
+	stop := make(chan struct{})
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if write(workerMessage{Type: "heartbeat", Round: round.Load()}) != nil {
+					return // supervisor went away; the run's exit status covers it
+				}
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		hb.Wait()
+	}()
+
+	s, err := sim.New(cfg)
+	if err != nil {
+		fmt.Fprintf(errw, "worker: %v\n", err)
+		return 1
+	}
+	res, err := s.RunContext(context.Background())
+	if err != nil {
+		var pe *sim.PanicError
+		if errors.As(err, &pe) {
+			fmt.Fprintf(errw, "panic: %v\n%s", pe.Value, pe.Stack)
+			return 2
+		}
+		fmt.Fprintf(errw, "worker: %v\n", err)
+		return 1
+	}
+	if err := write(workerMessage{Type: "result", Result: snapshotResult(res)}); err != nil {
+		fmt.Fprintf(errw, "worker: writing result: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic recovered at the engine's RunContext boundary,
+// carrying the configuration of the run that panicked and the stack at
+// the panic site. Campaign runners use it to attribute a crash to one
+// variant and contain it — the sibling variants of a sweep keep
+// running — and the worker process uses it to report a structured
+// failure to its supervisor instead of dying mid-protocol.
+type PanicError struct {
+	// Config is the configuration of the run that panicked, so a
+	// campaign-level handler can name the variant without keeping its
+	// own bookkeeping.
+	Config Config
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// newPanicError captures the recovered value and the current stack.
+func newPanicError(cfg Config, value any) *PanicError {
+	return &PanicError{Config: cfg, Value: value, Stack: debug.Stack()}
+}
+
+// Error summarises the panic; the stack is available via the Stack
+// field rather than flattened into the message.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: run panicked (seed %d, %d peers): %v", e.Config.Seed, e.Config.NumPeers, e.Value)
+}

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// panicProbe blows up on the first round-end it sees.
+type panicProbe struct {
+	BaseProbe
+}
+
+func (p *panicProbe) OnRoundEnd(RoundEndEvent) {
+	panic("probe exploded")
+}
+
+func TestRunContextRecoversProbePanic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Seed = 77
+	cfg.Probes = []Probe{&panicProbe{}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := s.RunContext(context.Background())
+	if res != nil {
+		t.Fatalf("expected nil result after panic, got %+v", res)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected *PanicError, got %T: %v", err, err)
+	}
+	if pe.Value != "probe exploded" {
+		t.Errorf("panic value: got %v", pe.Value)
+	}
+	if pe.Config.Seed != 77 {
+		t.Errorf("panic config not attributed: seed %d", pe.Config.Seed)
+	}
+	if !bytes.Contains(pe.Stack, []byte("OnRoundEnd")) {
+		t.Errorf("stack does not name the panic site:\n%s", pe.Stack)
+	}
+}

@@ -617,7 +617,23 @@ const cancelCheckMask = 63
 // RunContext executes the run, polling ctx every few rounds; on
 // cancellation it stops immediately and returns ctx's error with a nil
 // result. A completed run is identical to Run's.
-func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
+//
+// RunContext is also the engine's panic recovery boundary: a panic in
+// the engine or in an attached probe is recovered into a *PanicError
+// that attributes the failing variant's Config, so a campaign runner
+// can contain the failure instead of losing sibling variants (see
+// internal/experiments).
+func (s *Simulation) RunContext(ctx context.Context) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, newPanicError(s.cfg, r)
+		}
+	}()
+	return s.runContext(ctx)
+}
+
+// runContext is RunContext without the recovery boundary.
+func (s *Simulation) runContext(ctx context.Context) (*Result, error) {
 	done := ctx.Done()
 	for ; s.round < s.cfg.Rounds; s.round++ {
 		if done != nil && s.round&cancelCheckMask == 0 {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./tools/benchjson                       # BENCH_9.json, engine benches
+//	go run ./tools/benchjson                       # BENCH_10.json, engine benches
 //	go run ./tools/benchjson -out snap.json -benchtime 500x
 //	go run ./tools/benchjson -bench 'BenchmarkSimRound|BenchmarkQuiescentRound'
 //	go run ./tools/benchjson -out new.json -compare BENCH_5.json
@@ -62,8 +62,8 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_9.json", "output JSON file")
-	bench := flag.String("bench", "BenchmarkQuiescentRound|BenchmarkChurnRound|BenchmarkAdaptiveChurnRound|BenchmarkShardedChurnRound|BenchmarkWalkV3ChurnRound|BenchmarkSimRound|BenchmarkTransferRound|BenchmarkFlashCrowdRound|BenchmarkLedgerSessionFlip|BenchmarkMaintainerStep|BenchmarkUptime|BenchmarkViewScore",
+	out := flag.String("out", "BENCH_10.json", "output JSON file")
+	bench := flag.String("bench", "BenchmarkQuiescentRound|BenchmarkChurnRound|BenchmarkAdaptiveChurnRound|BenchmarkShardedChurnRound|BenchmarkWalkV3ChurnRound|BenchmarkSimRound|BenchmarkTransferRound|BenchmarkFlashCrowdRound|BenchmarkLedgerSessionFlip|BenchmarkMaintainerStep|BenchmarkUptime|BenchmarkViewScore|BenchmarkSupervisedVariant|BenchmarkInProcessVariant",
 		"benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "200x", "go test -benchtime value (fixed counts keep snapshots comparable)")
 	pkg := flag.String("pkg", ".", "package to benchmark")
